@@ -1,0 +1,304 @@
+// Benchmarks regenerating every table and figure of the FlexOS paper's
+// evaluation (§6). Each benchmark runs the corresponding experiment on
+// the deterministic simulated machine and reports the headline numbers
+// as custom metrics; `go test -bench=. -benchmem` therefore reproduces
+// the paper's result set, and cmd/flexos-bench prints the full tables.
+//
+// Simulated metrics are suffixed "sim-" (they are cycles/throughput on
+// the simulated 2.2 GHz Xeon, not host time).
+package flexos_test
+
+import (
+	"testing"
+
+	"flexos"
+	"flexos/internal/figures"
+)
+
+// Benchmark sizes: the simulation is deterministic, so modest request
+// counts give exact steady-state numbers.
+const (
+	benchRequests = 200
+	benchQueries  = 80
+	benchPackets  = 30
+)
+
+// BenchmarkFig05HardeningPoset builds and prunes the Figure 5 poset: a
+// fixed two-compartment Redis image with per-compartment hardening
+// varied over {none, CFI, ASAN, CFI+ASAN}.
+func BenchmarkFig05HardeningPoset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		nodes, err := figures.Fig5(benchRequests, 600_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stars := 0
+		for _, n := range nodes {
+			if n.Star {
+				stars++
+			}
+		}
+		b.ReportMetric(float64(len(nodes)), "configs")
+		b.ReportMetric(float64(stars), "stars")
+	}
+}
+
+// BenchmarkFig06Redis measures the 80-configuration Redis space
+// (Figure 6 top).
+func BenchmarkFig06Redis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.Fig6Redis(benchRequests)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].Perf, "sim-max-req/s")
+		b.ReportMetric(rows[0].Perf, "sim-min-req/s")
+		b.ReportMetric(rows[len(rows)-1].Perf/rows[0].Perf, "spread-x")
+	}
+}
+
+// BenchmarkFig06Nginx measures the Nginx half of the space (Figure 6
+// bottom).
+func BenchmarkFig06Nginx(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.Fig6Nginx(benchRequests)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].Perf, "sim-max-req/s")
+		b.ReportMetric(rows[0].Perf, "sim-min-req/s")
+	}
+}
+
+// BenchmarkFig07Scatter pairs the two Figure 6 datasets into the
+// normalized Redis-vs-Nginx scatter.
+func BenchmarkFig07Scatter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		redisRows, err := figures.Fig6Redis(benchRequests)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nginxRows, err := figures.Fig6Nginx(benchRequests)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts := figures.Fig7(redisRows, nginxRows)
+		b.ReportMetric(float64(len(pts)), "points")
+	}
+}
+
+// BenchmarkFig08SafetyOrdering runs partial safety ordering on the Redis
+// space with the paper's 500k req/s budget.
+func BenchmarkFig08SafetyOrdering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig8(benchRequests, 500_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Stars)), "safest-configs")
+		b.ReportMetric(float64(res.Evaluated), "evaluated")
+		b.ReportMetric(float64(res.Total), "total-configs")
+	}
+}
+
+// BenchmarkFig09IPerf sweeps the receive-buffer size across backends.
+func BenchmarkFig09IPerf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.Fig9(benchPackets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.System == "FlexOS NONE" && r.BufSize == 16384 {
+				b.ReportMetric(r.Gbps, "sim-peak-Gb/s")
+			}
+		}
+	}
+}
+
+// BenchmarkFig10SQLite runs the Figure 10 comparison (FlexOS
+// NONE/MPK3/EPT2 measured; Linux, SeL4/Genode, linuxu, CubicleOS
+// composed over the measured workload shape).
+func BenchmarkFig10SQLite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.Fig10(benchQueries)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.System == "FlexOS" && r.Isolation == "MPK3" {
+				b.ReportMetric(r.Seconds, "sim-mpk3-s")
+			}
+			if r.System == "FlexOS" && r.Isolation == "NONE" {
+				b.ReportMetric(r.Seconds, "sim-none-s")
+			}
+		}
+	}
+}
+
+// BenchmarkFig11aAllocLatency measures shared stack-variable allocation
+// under the three sharing strategies.
+func BenchmarkFig11aAllocLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.Fig11a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Buffers == 1 {
+				switch r.Strategy {
+				case "dss":
+					b.ReportMetric(float64(r.Cycles), "sim-dss-cycles")
+				case "heap":
+					b.ReportMetric(float64(r.Cycles), "sim-heap-cycles")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig11bGateLatency measures raw gate round-trips.
+func BenchmarkFig11bGateLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.Fig11b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Gate {
+			case "MPK-light":
+				b.ReportMetric(float64(r.Cycles), "sim-mpk-light-cycles")
+			case "MPK-dss":
+				b.ReportMetric(float64(r.Cycles), "sim-mpk-dss-cycles")
+			case "EPT":
+				b.ReportMetric(float64(r.Cycles), "sim-ept-cycles")
+			}
+		}
+	}
+}
+
+// BenchmarkTable1PortingEffort audits the shared-variable annotations.
+func BenchmarkTable1PortingEffort(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := figures.Table1()
+		vars := 0
+		for _, r := range rows {
+			vars += r.SharedVars
+		}
+		b.ReportMetric(float64(len(rows)), "components")
+		b.ReportMetric(float64(vars), "shared-vars")
+	}
+}
+
+// BenchmarkAblationGateFlavor quantifies design decision 2 of DESIGN.md:
+// the light (register/stack-sharing) gate vs the full gate on the Redis
+// scheduler split.
+func BenchmarkAblationGateFlavor(b *testing.B) {
+	split := func(mode flexos.GateMode, sharing flexos.Sharing) flexos.ImageSpec {
+		return flexos.ImageSpec{
+			Mechanism: "intel-mpk", GateMode: mode, Sharing: sharing,
+			Comps: []flexos.CompSpec{
+				{Name: "c0", Libs: append(flexos.TCBLibs(), flexos.LibRedis, flexos.LibC, flexos.LibNet)},
+				{Name: "c1", Libs: []string{flexos.LibSched}},
+			},
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		light, err := flexos.BenchmarkRedis(split(flexos.GateLight, flexos.ShareStack), benchRequests)
+		if err != nil {
+			b.Fatal(err)
+		}
+		full, err := flexos.BenchmarkRedis(split(flexos.GateFull, flexos.ShareDSS), benchRequests)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(light.ReqPerSec, "sim-light-req/s")
+		b.ReportMetric(full.ReqPerSec, "sim-full-req/s")
+	}
+}
+
+// BenchmarkAblationSharingStrategy quantifies DSS vs stack-to-heap
+// conversion on the iPerf hot path (design decision 2).
+func BenchmarkAblationSharingStrategy(b *testing.B) {
+	spec := func(sharing flexos.Sharing) flexos.ImageSpec {
+		return flexos.ImageSpec{
+			Mechanism: "intel-mpk", GateMode: flexos.GateFull, Sharing: sharing,
+			Comps: []flexos.CompSpec{
+				{Name: "sys", Libs: append(flexos.TCBLibs(), flexos.LibC, flexos.LibSched, flexos.LibNet)},
+				{Name: "app", Libs: []string{flexos.LibIPerf}},
+			},
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		dss, err := flexos.BenchmarkIPerf(spec(flexos.ShareDSS), 64, benchPackets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		heap, err := flexos.BenchmarkIPerf(spec(flexos.ShareHeap), 64, benchPackets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(dss.Gbps, "sim-dss-Gb/s")
+		b.ReportMetric(heap.Gbps, "sim-heap-Gb/s")
+	}
+}
+
+// BenchmarkAblationMonotonicPruning quantifies design decision 4: how
+// many of the 80 measurements the explorer's monotonic pruning saves.
+func BenchmarkAblationMonotonicPruning(b *testing.B) {
+	cfgs := flexos.Fig6Space(flexos.RedisComponents())
+	measure := func(c *flexos.ExploreConfig) (float64, error) {
+		res, err := flexos.BenchmarkRedis(c.Spec(flexos.TCBLibs()), benchRequests)
+		if err != nil {
+			return 0, err
+		}
+		return res.ReqPerSec, nil
+	}
+	for i := 0; i < b.N; i++ {
+		pruned, err := flexos.Explore(cfgs, measure, 500_000, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(pruned.Evaluated), "evaluated-with-pruning")
+		b.ReportMetric(float64(pruned.Total), "total-configs")
+	}
+}
+
+// BenchmarkAblationEPTTCBDuplication reports the TCB duplication cost of
+// multi-AS backends (design decision 3).
+func BenchmarkAblationEPTTCBDuplication(b *testing.B) {
+	spec := flexos.ImageSpec{
+		Mechanism: "vm-ept",
+		Comps: []flexos.CompSpec{
+			{Name: "c0", Libs: append(flexos.TCBLibs(), flexos.LibSQLite, flexos.LibC, flexos.LibSched)},
+			{Name: "fs", Libs: []string{flexos.LibVFS, flexos.LibRamfs, flexos.LibTime}},
+		},
+	}
+	for i := 0; i < b.N; i++ {
+		img, err := flexos.Build(flexos.FullCatalog(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := img.Report()
+		b.ReportMetric(float64(r.Backend.TCBCopies), "tcb-copies")
+		b.ReportMetric(float64(r.Backend.VMs), "vms")
+	}
+}
+
+// BenchmarkBuild measures image build ("toolchain") speed itself.
+func BenchmarkBuild(b *testing.B) {
+	spec := flexos.ImageSpec{
+		Mechanism: "intel-mpk", GateMode: flexos.GateFull, Sharing: flexos.ShareDSS,
+		Comps: []flexos.CompSpec{
+			{Name: "c0", Libs: append(flexos.TCBLibs(), flexos.LibRedis, flexos.LibC, flexos.LibSched)},
+			{Name: "c1", Libs: []string{flexos.LibNet}},
+		},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cat := flexos.FullCatalog()
+		if _, err := flexos.Build(cat, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

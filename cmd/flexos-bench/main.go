@@ -1,0 +1,151 @@
+// Command flexos-bench regenerates the tables and figures of the FlexOS
+// paper's evaluation (§6) as text tables on the simulated machine.
+//
+// Usage:
+//
+//	flexos-bench -fig all
+//	flexos-bench -fig 10 -queries 250
+//	flexos-bench -fig 6 -requests 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flexos/internal/figures"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 5 | 6 | 7 | 8 | 9 | 10 | 11a | 11b | table1 | all")
+	requests := flag.Int("requests", 250, "requests per configuration (Figs. 5-8)")
+	queries := flag.Int("queries", 150, "INSERT queries (Fig. 10; reported scaled to 5000)")
+	packets := flag.Int("packets", 40, "packets per buffer size (Fig. 9)")
+	budget := flag.Float64("budget", 500_000, "performance budget in req/s (Figs. 5, 8)")
+	csvDir := flag.String("csv", "", "also write results as CSV files into this directory")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "flexos-bench: figure %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("5", func() error {
+		nodes, err := figures.Fig5(*requests, 600_000)
+		if err != nil {
+			return err
+		}
+		fmt.Print(figures.FormatFig5(nodes, 600_000))
+		return nil
+	})
+	var redisRows, nginxRows []figures.ConfigPerf
+	run("6", func() error {
+		var err error
+		redisRows, err = figures.Fig6Redis(*requests)
+		if err != nil {
+			return err
+		}
+		fmt.Print(figures.FormatFig6("Redis", redisRows))
+		fmt.Println()
+		nginxRows, err = figures.Fig6Nginx(*requests)
+		if err != nil {
+			return err
+		}
+		fmt.Print(figures.FormatFig6("Nginx", nginxRows))
+		if *csvDir != "" {
+			h, rows := figures.Fig6CSV(redisRows)
+			if err := figures.WriteCSV(*csvDir, "6-redis", h, rows); err != nil {
+				return err
+			}
+			h, rows = figures.Fig6CSV(nginxRows)
+			if err := figures.WriteCSV(*csvDir, "6-nginx", h, rows); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	run("7", func() error {
+		if redisRows == nil {
+			var err error
+			if redisRows, err = figures.Fig6Redis(*requests); err != nil {
+				return err
+			}
+			if nginxRows, err = figures.Fig6Nginx(*requests); err != nil {
+				return err
+			}
+		}
+		pts := figures.Fig7(redisRows, nginxRows)
+		fmt.Print(figures.FormatFig7(pts))
+		if *csvDir != "" {
+			h, rows := figures.Fig7CSV(pts)
+			return figures.WriteCSV(*csvDir, "7", h, rows)
+		}
+		return nil
+	})
+	run("8", func() error {
+		res, err := figures.Fig8(*requests, *budget)
+		if err != nil {
+			return err
+		}
+		fmt.Print(figures.FormatFig8(res))
+		return nil
+	})
+	run("9", func() error {
+		rows, err := figures.Fig9(*packets)
+		if err != nil {
+			return err
+		}
+		fmt.Print(figures.FormatFig9(rows))
+		if *csvDir != "" {
+			h, out := figures.Fig9CSV(rows)
+			return figures.WriteCSV(*csvDir, "9", h, out)
+		}
+		return nil
+	})
+	run("10", func() error {
+		rows, err := figures.Fig10(*queries)
+		if err != nil {
+			return err
+		}
+		fmt.Print(figures.FormatFig10(rows))
+		if *csvDir != "" {
+			h, out := figures.Fig10CSV(rows)
+			return figures.WriteCSV(*csvDir, "10", h, out)
+		}
+		return nil
+	})
+	run("11a", func() error {
+		rows, err := figures.Fig11a()
+		if err != nil {
+			return err
+		}
+		fmt.Print(figures.FormatFig11a(rows))
+		if *csvDir != "" {
+			h, out := figures.Fig11aCSV(rows)
+			return figures.WriteCSV(*csvDir, "11a", h, out)
+		}
+		return nil
+	})
+	run("11b", func() error {
+		rows, err := figures.Fig11b()
+		if err != nil {
+			return err
+		}
+		fmt.Print(figures.FormatFig11b(rows))
+		if *csvDir != "" {
+			h, out := figures.Fig11bCSV(rows)
+			return figures.WriteCSV(*csvDir, "11b", h, out)
+		}
+		return nil
+	})
+	run("table1", func() error {
+		fmt.Print(figures.FormatTable1(figures.Table1()))
+		return nil
+	})
+}

@@ -1,0 +1,98 @@
+// Command flexos-explore runs FlexOS' partial safety ordering (§5) over
+// the paper's 80-configuration design space for Redis or Nginx: it
+// measures every configuration (or prunes monotonically), orders them in
+// the safety poset, and prints the safest configurations that satisfy a
+// performance budget — the workflow behind Figure 8.
+//
+// Usage:
+//
+//	flexos-explore -app redis -budget 500000
+//	flexos-explore -app nginx -budget 400000 -exhaustive -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"flexos"
+)
+
+func main() {
+	app := flag.String("app", "redis", "application to explore: redis | nginx")
+	budget := flag.Float64("budget", 500_000, "minimum performance (requests/s)")
+	requests := flag.Int("requests", 200, "requests per measurement")
+	exhaustive := flag.Bool("exhaustive", false, "measure every configuration (disable monotonic pruning)")
+	verbose := flag.Bool("v", false, "print every measured configuration")
+	dotPath := flag.String("dot", "", "write the labeled safety poset as a Graphviz file (Fig. 8 visual)")
+	flag.Parse()
+
+	var components [4]string
+	var measure func(*flexos.ExploreConfig) (float64, error)
+	switch *app {
+	case "redis":
+		components = flexos.RedisComponents()
+		measure = func(c *flexos.ExploreConfig) (float64, error) {
+			res, err := flexos.BenchmarkRedis(c.Spec(flexos.TCBLibs()), *requests)
+			if err != nil {
+				return 0, err
+			}
+			return res.ReqPerSec, nil
+		}
+	case "nginx":
+		components = flexos.NginxComponents()
+		measure = func(c *flexos.ExploreConfig) (float64, error) {
+			res, err := flexos.BenchmarkNginx(c.Spec(flexos.TCBLibs()), *requests)
+			if err != nil {
+				return 0, err
+			}
+			return res.ReqPerSec, nil
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "flexos-explore: unknown app %q\n", *app)
+		os.Exit(2)
+	}
+
+	cfgs := flexos.Fig6Space(components)
+	res, err := flexos.Explore(cfgs, measure, *budget, !*exhaustive)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexos-explore:", err)
+		os.Exit(1)
+	}
+
+	if *verbose {
+		sorted := make([]int, 0, len(res.Measurements))
+		for i := range res.Measurements {
+			sorted = append(sorted, i)
+		}
+		sort.Slice(sorted, func(a, b int) bool {
+			return res.Measurements[sorted[a]].Perf < res.Measurements[sorted[b]].Perf
+		})
+		for _, i := range sorted {
+			m := res.Measurements[i]
+			state := "measured"
+			if m.Pruned {
+				state = "pruned"
+			}
+			fmt.Printf("%-9s %9.1fk req/s  %s\n", state, m.Perf/1000, m.Config.Label())
+		}
+		fmt.Println("---")
+	}
+
+	if *dotPath != "" {
+		if err := os.WriteFile(*dotPath, []byte(res.DOT(*app)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "flexos-explore:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote safety poset to %s (render with: dot -Tsvg)\n", *dotPath)
+	}
+
+	fmt.Printf("explored %d/%d configurations (budget %.0fk %s req/s)\n",
+		res.Evaluated, res.Total, *budget/1000, *app)
+	fmt.Printf("safest configurations under budget: %d\n", len(res.Safest))
+	for _, c := range res.SafestConfigs() {
+		idx := c.ID
+		fmt.Printf("  * %-55s %9.1fk req/s\n", c.Label(), res.Measurements[idx].Perf/1000)
+	}
+}

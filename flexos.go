@@ -1,0 +1,241 @@
+// Package flexos is a Go reproduction of "FlexOS: Towards Flexible OS
+// Isolation" (Lefeuvre et al., ASPLOS 2022): a library operating system
+// whose compartmentalization and protection profile is chosen at build
+// time rather than design time.
+//
+// The package is the public face of the system. It lets users:
+//
+//   - assemble a Catalog of OS components (micro-libraries) — the
+//     repository ships the paper's full set: a TCP/IP stack, a VFS with
+//     ramfs, a scheduler surface, a time subsystem, a C library, and four
+//     applications (Redis, Nginx, SQLite, iPerf miniatures);
+//   - describe a safety configuration (an ImageSpec or the paper's
+//     configuration-file format): which components share which
+//     compartment, which isolation mechanism backs the boundaries (NONE,
+//     Intel MPK, EPT/VMs, CHERI), which gate flavor and data sharing
+//     strategy to use (light/full gates; DSS, shared heap or shared
+//     stacks), and per-component software hardening (CFI, KASan, UBSan,
+//     stack protector);
+//   - Build the configuration into an Image and run workloads on its
+//     deterministic simulated machine; and
+//   - Explore a whole design space with partial safety ordering,
+//     obtaining the safest configurations under a performance budget.
+//
+// Everything executes on a simulated machine with a cycle-accurate cost
+// model calibrated against the paper's Xeon Silver 4114 measurements, so
+// experiments are deterministic and fast while reproducing the paper's
+// performance shapes. See DESIGN.md for the substitution map and
+// EXPERIMENTS.md for paper-vs-measured results.
+package flexos
+
+import (
+	"flexos/internal/config"
+	"flexos/internal/core"
+	"flexos/internal/explore"
+	"flexos/internal/harden"
+	"flexos/internal/isolation"
+	"flexos/internal/libc"
+	"flexos/internal/machine"
+	"flexos/internal/netstack"
+	"flexos/internal/oslib"
+	"flexos/internal/ramfs"
+	"flexos/internal/timesys"
+	"flexos/internal/vfs"
+
+	iperfapp "flexos/internal/apps/iperf"
+	nginxapp "flexos/internal/apps/nginx"
+	redisapp "flexos/internal/apps/redis"
+	sqliteapp "flexos/internal/apps/sqlite"
+)
+
+// Core types re-exported for users of the public API.
+type (
+	// Catalog is the pool of available OS components.
+	Catalog = core.Catalog
+	// Component is one micro-library.
+	Component = core.Component
+	// Func is one component function.
+	Func = core.Func
+	// SharedVar is a __shared data annotation.
+	SharedVar = core.SharedVar
+	// Ctx is the execution context passed to component functions.
+	Ctx = core.Ctx
+	// Image is a built FlexOS system.
+	Image = core.Image
+	// ImageSpec is a build-time safety configuration.
+	ImageSpec = core.ImageSpec
+	// CompSpec describes one compartment of an ImageSpec.
+	CompSpec = core.CompSpec
+	// Report describes a built image (layout, gates, TCB).
+	Report = core.Report
+	// Config is a parsed configuration file.
+	Config = config.Config
+	// ConfigCompartment is one compartment declaration of a Config.
+	ConfigCompartment = config.Compartment
+	// ConfigLibAssignment maps a library into a compartment in a Config.
+	ConfigLibAssignment = config.LibAssignment
+	// CostModel is the simulated machine's cycle cost model.
+	CostModel = machine.CostModel
+	// HardeningSet is a set of software hardening techniques.
+	HardeningSet = harden.Set
+	// GateMode selects a gate flavor (light / full).
+	GateMode = isolation.GateMode
+	// Sharing selects the stack-data sharing strategy.
+	Sharing = isolation.Sharing
+	// ExploreConfig is one point of an exploration space.
+	ExploreConfig = explore.Config
+	// ExploreResult is the outcome of a design-space exploration.
+	ExploreResult = explore.Result
+)
+
+// Gate flavors and sharing strategies.
+const (
+	GateDefault = isolation.GateDefault
+	GateLight   = isolation.GateLight
+	GateFull    = isolation.GateFull
+
+	ShareDSS   = isolation.ShareDSS
+	ShareHeap  = isolation.ShareHeap
+	ShareStack = isolation.ShareStack
+)
+
+// Hardening techniques.
+const (
+	CFI            = harden.CFI
+	KASan          = harden.KASan
+	UBSan          = harden.UBSan
+	StackProtector = harden.StackProtector
+	AllHardening   = harden.All
+)
+
+// NewCatalog returns an empty component catalog.
+func NewCatalog() *Catalog { return core.NewCatalog() }
+
+// NewHardening builds a hardening set.
+func NewHardening(techs ...harden.Tech) HardeningSet { return harden.NewSet(techs...) }
+
+// DefaultCosts returns the cost model calibrated against the paper's
+// Xeon Silver 4114 (Figure 11 numbers).
+func DefaultCosts() CostModel { return machine.DefaultCosts() }
+
+// Build materializes a safety configuration into a runnable image: the
+// "toolchain" step that binds abstract gates to the chosen backend, lays
+// out per-compartment sections and heaps, instantiates the data sharing
+// strategy, and applies hardening.
+func Build(cat *Catalog, spec ImageSpec) (*Image, error) { return core.Build(cat, spec) }
+
+// ParseConfig parses the paper's configuration-file format (§3).
+func ParseConfig(text string) (*Config, error) { return config.Parse(text) }
+
+// SpecFromConfig converts a parsed configuration file into an ImageSpec
+// against a catalog; unassigned libraries join the default compartment.
+func SpecFromConfig(cfg *Config, cat *Catalog) (ImageSpec, error) {
+	return core.SpecFromConfig(cfg, cat)
+}
+
+// RenderConfig serializes a Config back to the file format.
+func RenderConfig(cfg *Config) string { return config.Render(cfg) }
+
+// TableOne reproduces the paper's porting-effort table for a catalog.
+func TableOne(cat *Catalog) []core.TableOneRow { return core.TableOne(cat) }
+
+// FullCatalog assembles every component the repository ships: the TCB
+// (boot, memory manager), the scheduler, the C library, the network
+// stack, the filesystem pair, the time subsystem, and all four
+// applications. Each call returns a fresh, independent catalog (component
+// state is per-catalog).
+func FullCatalog() *Catalog {
+	cat := core.NewCatalog()
+	oslib.RegisterTCB(cat)
+	oslib.RegisterSched(cat)
+	libc.Register(cat)
+	netstack.Register(cat)
+	timesys.Register(cat)
+	ramfs.Register(cat)
+	vfs.Register(cat)
+	redisapp.Register(cat)
+	nginxapp.Register(cat)
+	sqliteapp.Register(cat)
+	iperfapp.Register(cat)
+	return cat
+}
+
+// TCBLibs are the trusted-computing-base components every image links
+// into its default compartment.
+func TCBLibs() []string { return []string{oslib.BootName, oslib.MMName} }
+
+// Component names shipped by the repository, for building ImageSpecs
+// programmatically.
+const (
+	LibBoot   = oslib.BootName
+	LibMM     = oslib.MMName
+	LibSched  = oslib.SchedName
+	LibC      = libc.Name
+	LibNet    = netstack.Name
+	LibVFS    = vfs.Name
+	LibRamfs  = ramfs.Name
+	LibTime   = timesys.Name
+	LibRedis  = redisapp.Name
+	LibNginx  = nginxapp.Name
+	LibSQLite = sqliteapp.Name
+	LibIPerf  = iperfapp.Name
+)
+
+// RedisResult, NginxResult, SQLiteResult and IPerfResult are the
+// application benchmark outcomes.
+type (
+	RedisResult  = redisapp.Result
+	NginxResult  = nginxapp.Result
+	SQLiteResult = sqliteapp.Result
+	IPerfResult  = iperfapp.Result
+)
+
+// BenchmarkRedis measures Redis GET throughput under a configuration
+// (the redis-benchmark analogue of Figure 6 top).
+func BenchmarkRedis(spec ImageSpec, requests int) (RedisResult, error) {
+	return redisapp.Benchmark(spec, requests)
+}
+
+// BenchmarkNginx measures HTTP throughput under a configuration (the wrk
+// analogue of Figure 6 bottom).
+func BenchmarkNginx(spec ImageSpec, requests int) (NginxResult, error) {
+	return nginxapp.Benchmark(spec, requests)
+}
+
+// BenchmarkSQLite measures the INSERT workload of Figure 10.
+func BenchmarkSQLite(spec ImageSpec, queries int) (SQLiteResult, error) {
+	return sqliteapp.Benchmark(spec, queries)
+}
+
+// BenchmarkIPerf measures network throughput at a receive-buffer size
+// (Figure 9).
+func BenchmarkIPerf(spec ImageSpec, bufSize, packets int) (IPerfResult, error) {
+	return iperfapp.Benchmark(spec, bufSize, packets)
+}
+
+// RedisComponents and NginxComponents list the four Figure 6 components
+// of each application, in the paper's row order.
+func RedisComponents() [4]string {
+	return [4]string{redisapp.Name, libc.Name, oslib.SchedName, netstack.Name}
+}
+
+// NginxComponents lists Nginx's Figure 6 components.
+func NginxComponents() [4]string {
+	return [4]string{nginxapp.Name, libc.Name, oslib.SchedName, netstack.Name}
+}
+
+// Fig6Space generates the paper's 80-configuration design space for a
+// four-component application.
+func Fig6Space(components [4]string) []*ExploreConfig { return explore.Fig6Space(components) }
+
+// Fig5Space generates the 16-configuration hardening lattice of Figure 5.
+func Fig5Space(blockA, blockB []string) []*ExploreConfig {
+	return explore.Fig5Space(blockA, blockB)
+}
+
+// Explore runs partial safety ordering over a configuration space:
+// measure every configuration (or prune monotonically), then return the
+// safest configurations meeting the performance budget.
+func Explore(cfgs []*ExploreConfig, measure func(*ExploreConfig) (float64, error), budget float64, prune bool) (*ExploreResult, error) {
+	return explore.Run(cfgs, measure, budget, prune)
+}

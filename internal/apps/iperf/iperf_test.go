@@ -1,0 +1,136 @@
+package iperf
+
+import (
+	"testing"
+
+	"flexos/internal/core"
+	"flexos/internal/isolation"
+	"flexos/internal/netstack"
+	"flexos/internal/oslib"
+)
+
+// specNone: FlexOS without isolation (== vanilla Unikraft in Fig. 9).
+func specNone() core.ImageSpec {
+	return core.ImageSpec{
+		Mechanism: "none",
+		Comps: []core.CompSpec{{
+			Name: "c0",
+			Libs: append([]string{oslib.BootName, oslib.MMName}, Components...),
+		}},
+	}
+}
+
+// specMPK2 is the Fig. 9 scenario: the iPerf application code in one
+// compartment, the rest of the system (including the network stack) in a
+// second one.
+func specMPK2(mode isolation.GateMode, sharing isolation.Sharing) core.ImageSpec {
+	return core.ImageSpec{
+		Mechanism: "intel-mpk",
+		GateMode:  mode,
+		Sharing:   sharing,
+		Comps: []core.CompSpec{
+			{Name: "sys", Libs: []string{oslib.BootName, oslib.MMName, "newlib", oslib.SchedName, netstack.Name}},
+			{Name: "app", Libs: []string{Name}},
+		},
+	}
+}
+
+func specEPT2() core.ImageSpec {
+	s := specMPK2(isolation.GateDefault, isolation.ShareDSS)
+	s.Mechanism = "vm-ept"
+	return s
+}
+
+func TestStreamFunctional(t *testing.T) {
+	res, err := Benchmark(specNone(), 256, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 256*50 || res.Gbps <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestThroughputGrowsWithBufferSize(t *testing.T) {
+	// Fig. 9: batching — bigger receive buffers mean fewer crossings
+	// per byte, so throughput grows monotonically with buffer size.
+	prev := 0.0
+	for _, size := range []int{16, 64, 256, 1024, 4096, 16384} {
+		res, err := Benchmark(specMPK2(isolation.GateFull, isolation.ShareDSS), size, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Gbps <= prev {
+			t.Fatalf("throughput not monotonic at %dB: %.3f <= %.3f", size, res.Gbps, prev)
+		}
+		prev = res.Gbps
+	}
+}
+
+func TestBackendOrderingAtSmallBuffers(t *testing.T) {
+	// Fig. 9 at small payloads: NONE > MPK-light > MPK-dss > EPT.
+	none, err := Benchmark(specNone(), 64, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := Benchmark(specMPK2(isolation.GateLight, isolation.ShareStack), 64, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dss, err := Benchmark(specMPK2(isolation.GateFull, isolation.ShareDSS), 64, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ept, err := Benchmark(specEPT2(), 64, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(none.Gbps > light.Gbps && light.Gbps > dss.Gbps && dss.Gbps > ept.Gbps) {
+		t.Fatalf("ordering broken: none=%.3f light=%.3f dss=%.3f ept=%.3f",
+			none.Gbps, light.Gbps, dss.Gbps, ept.Gbps)
+	}
+}
+
+func TestBackendsConvergeAtLargeBuffers(t *testing.T) {
+	// Fig. 9: from a few hundred bytes upward all backends approach the
+	// baseline ("all backends can constitute a valid solution").
+	const size = 16384
+	none, err := Benchmark(specNone(), size, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ept, err := Benchmark(specEPT2(), size, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ept.Gbps < 0.9*none.Gbps {
+		t.Fatalf("EPT at 16KiB = %.3f Gb/s, want >= 90%% of baseline %.3f", ept.Gbps, none.Gbps)
+	}
+}
+
+func TestPeakThroughputCalibration(t *testing.T) {
+	// Fig. 9 tops out around 4-5 Gb/s on the calibrated machine.
+	res, err := Benchmark(specNone(), 16384, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gbps < 3.0 || res.Gbps > 7.0 {
+		t.Fatalf("peak throughput = %.2f Gb/s, want ~4.4", res.Gbps)
+	}
+}
+
+func TestMPKCloseToBaselineAt128B(t *testing.T) {
+	// Fig. 9: "MPK's performance quickly becomes similar to the baseline
+	// starting from 128 B".
+	none, err := Benchmark(specNone(), 128, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dss, err := Benchmark(specMPK2(isolation.GateFull, isolation.ShareDSS), 128, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dss.Gbps < 0.75*none.Gbps {
+		t.Fatalf("MPK-dss at 128B = %.3f, want >= 75%% of %.3f", dss.Gbps, none.Gbps)
+	}
+}

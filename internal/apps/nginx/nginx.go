@@ -1,0 +1,207 @@
+// Package nginx implements the Nginx miniature of the paper's evaluation
+// (Fig. 6 bottom): a static HTTP server over the same four components as
+// Redis. Its communication pattern differs in exactly the way §6.1
+// highlights: scheduler interaction is minimal (isolating uksched costs
+// ~6% instead of Redis's 43%) while more work happens inside the
+// application and the network stack per request — which is why the same
+// 80-configuration space produces a differently-shaped overhead
+// distribution (Fig. 7).
+package nginx
+
+import (
+	"fmt"
+
+	"flexos/internal/core"
+	"flexos/internal/libc"
+	"flexos/internal/netstack"
+	"flexos/internal/oslib"
+)
+
+// Name is the component name used in configuration files.
+const Name = "libnginx"
+
+// Components lists the Figure-6 components for Nginx images.
+var Components = []string{Name, libc.Name, oslib.SchedName, netstack.Name}
+
+// Calibration (cycles / counts per HTTP request). Nginx does more
+// application-side work per request than Redis and touches the scheduler
+// only once.
+const (
+	serveWork        = 1150
+	routeWork        = 240
+	schedCallsPerReq = 1
+	bodySize         = 128
+)
+
+// State is the per-image server state: the static file cache.
+type State struct {
+	files  map[string]uintptr // path -> private heap buffer (bodySize)
+	sock   int
+	served uint64
+}
+
+// Register adds libnginx to a catalog (Table 1: +470/-85, 36 shared
+// variables).
+func Register(cat *core.Catalog) *State {
+	st := &State{files: make(map[string]uintptr)}
+	c := core.NewComponent(Name)
+	c.PatchAdd, c.PatchDel = 470, 85
+	c.Imports = []string{libc.Name, oslib.SchedName, netstack.Name}
+	for i := 0; i < 36; i++ {
+		c.AddShared(core.SharedVar{Name: fmt.Sprintf("conn_buf_%d", i), Size: 64})
+	}
+
+	// setup(): listening socket plus the cached document root.
+	c.AddFunc(&core.Func{
+		Name: "setup", Work: 500, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			v, err := ctx.Call(netstack.Name, "socket")
+			if err != nil {
+				return nil, err
+			}
+			st.sock = v.(int)
+			body := make([]byte, bodySize)
+			for i := range body {
+				body[i] = byte('a' + i%26)
+			}
+			addr, err := ctx.AllocPrivate(bodySize)
+			if err != nil {
+				return nil, err
+			}
+			if err := ctx.Write(addr, body); err != nil {
+				return nil, err
+			}
+			st.files["/index.html"] = addr
+			return st.sock, nil
+		},
+	})
+
+	// serve_req handles one HTTP GET end to end.
+	c.AddFunc(&core.Func{
+		Name: "serve_req", Work: serveWork, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			reqBuf, err := ctx.StackAlloc(128, true)
+			if err != nil {
+				return nil, err
+			}
+			v, err := ctx.Call(netstack.Name, "recv", st.sock, reqBuf, 128)
+			if err != nil {
+				return nil, err
+			}
+			n := v.(int)
+			if n == 0 {
+				return false, nil
+			}
+			method, err := ctx.Call(libc.Name, "parse", reqBuf, n)
+			if err != nil {
+				return nil, err
+			}
+			if method.(string) != "GET" {
+				return false, nil
+			}
+			// Route to the cached file.
+			ctx.Charge(routeWork)
+			addr, ok := st.files["/index.html"]
+			if !ok {
+				return false, nil
+			}
+
+			// Header + body into a shared transmit buffer.
+			txBuf, err := ctx.StackAlloc(64+bodySize, true)
+			if err != nil {
+				return nil, err
+			}
+			hdr := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Length: %d\r\n\r\n", bodySize)
+			hn, err := ctx.Call(libc.Name, "format", txBuf, hdr)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := ctx.Call(libc.Name, "memcpy", txBuf+uintptr(hn.(int)), addr, bodySize); err != nil {
+				return nil, err
+			}
+			total := hn.(int) + bodySize
+			if _, err := ctx.Call(netstack.Name, "send", st.sock, txBuf, total); err != nil {
+				return nil, err
+			}
+			for i := 0; i < schedCallsPerReq; i++ {
+				if _, err := ctx.Call(oslib.SchedName, "wake"); err != nil {
+					return nil, err
+				}
+			}
+			st.served++
+			return true, nil
+		},
+	})
+	cat.MustRegister(c)
+	return st
+}
+
+// Served returns the number of completed requests (test hook).
+func (st *State) Served() uint64 { return st.served }
+
+// Catalog builds a fresh catalog with everything an Nginx image needs.
+func Catalog() (*core.Catalog, *State) {
+	cat := core.NewCatalog()
+	oslib.RegisterTCB(cat)
+	oslib.RegisterSched(cat)
+	libc.Register(cat)
+	netstack.Register(cat)
+	st := Register(cat)
+	return cat, st
+}
+
+// Result is one benchmark measurement.
+type Result struct {
+	ReqPerSec float64
+	Requests  int
+	Cycles    uint64
+	Crossings uint64
+}
+
+// Benchmark measures HTTP throughput for a configuration (the wrk
+// analogue).
+func Benchmark(spec core.ImageSpec, requests int) (Result, error) {
+	cat, st := Catalog()
+	img, err := core.Build(cat, spec)
+	if err != nil {
+		return Result{}, err
+	}
+	ctx, err := img.NewContext("nginx-main", Name)
+	if err != nil {
+		return Result{}, err
+	}
+	if _, err := ctx.Call(Name, "setup"); err != nil {
+		return Result{}, err
+	}
+	req := []byte("GET /index.html HTTP/1.1\r\nHost: flexos\r\n\r\n")
+	for i := 0; i < requests; i++ {
+		if _, err := ctx.Call(netstack.Name, "rx_enqueue", st.sock, req); err != nil {
+			return Result{}, err
+		}
+	}
+	startCycles := img.Mach.Clock.Cycles()
+	startCross := img.Crossings()
+	for i := 0; i < requests; i++ {
+		ok, err := ctx.Call(Name, "serve_req")
+		if err != nil {
+			return Result{}, err
+		}
+		if ok != true {
+			return Result{}, fmt.Errorf("nginx: request %d failed", i)
+		}
+	}
+	cycles := img.Mach.Clock.Cycles() - startCycles
+	seconds := float64(cycles) / img.Mach.Costs.FreqHz
+	return Result{
+		ReqPerSec: float64(requests) / seconds,
+		Requests:  requests,
+		Cycles:    cycles,
+		Crossings: img.Crossings() - startCross,
+	}, nil
+}
+
+// Components4 returns the Figure 6 component quadruple as a fixed-size
+// array (app, libc, scheduler, network stack).
+func Components4() [4]string {
+	return [4]string{Name, libc.Name, oslib.SchedName, netstack.Name}
+}

@@ -1,0 +1,121 @@
+package nginx
+
+import (
+	"testing"
+
+	"flexos/internal/core"
+	"flexos/internal/harden"
+	"flexos/internal/isolation"
+	"flexos/internal/oslib"
+)
+
+func oneComp() core.ImageSpec {
+	return core.ImageSpec{
+		Mechanism: "none",
+		Comps: []core.CompSpec{{
+			Name: "c0",
+			Libs: append([]string{oslib.BootName, oslib.MMName}, Components...),
+		}},
+	}
+}
+
+func mpkSplit(isolated string) core.ImageSpec {
+	var rest []string
+	rest = append(rest, oslib.BootName, oslib.MMName)
+	for _, l := range Components {
+		if l != isolated {
+			rest = append(rest, l)
+		}
+	}
+	return core.ImageSpec{
+		Mechanism: "intel-mpk",
+		GateMode:  isolation.GateFull,
+		Sharing:   isolation.ShareDSS,
+		Comps: []core.CompSpec{
+			{Name: "comp0", Libs: rest},
+			{Name: "comp1", Libs: []string{isolated}},
+		},
+	}
+}
+
+func TestServeFunctional(t *testing.T) {
+	res, err := Benchmark(oneComp(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 50 || res.ReqPerSec <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestSchedulerIsolationIsCheapForNginx(t *testing.T) {
+	// Paper §6.1: "Compared to Redis, isolating the scheduler is much
+	// less expensive (6% versus 43%)".
+	base, err := Benchmark(oneComp(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schd, err := Benchmark(mpkSplit(oslib.SchedName), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := 1 - schd.ReqPerSec/base.ReqPerSec
+	if hit < 0 || hit > 0.15 {
+		t.Fatalf("nginx scheduler isolation hit = %.1f%%, want ~6%%", 100*hit)
+	}
+}
+
+func TestSchedulerHardeningIsCheapForNginx(t *testing.T) {
+	// Paper §6.1: hardening the scheduler costs ~2% for Nginx.
+	base, err := Benchmark(oneComp(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := core.ImageSpec{
+		Mechanism: "none",
+		Comps: []core.CompSpec{
+			{Name: "c0", Libs: nil},
+			{Name: "hard", Libs: []string{oslib.SchedName}, Hardening: harden.NewSet(harden.All)},
+		},
+	}
+	for _, l := range append([]string{oslib.BootName, oslib.MMName}, Components...) {
+		if l != oslib.SchedName {
+			spec.Comps[0].Libs = append(spec.Comps[0].Libs, l)
+		}
+	}
+	hardened, err := Benchmark(spec, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := 1 - hardened.ReqPerSec/base.ReqPerSec
+	if hit < 0 || hit > 0.10 {
+		t.Fatalf("nginx scheduler hardening hit = %.1f%%, want ~2%%", 100*hit)
+	}
+}
+
+func TestNginxDistributionFlatterThanRedis(t *testing.T) {
+	// Fig. 6/7: Nginx has more low-overhead configurations than Redis
+	// because its hot path concentrates in the app+lwip pair. Verify the
+	// scheduler split is "isolation for free" territory.
+	base, _ := Benchmark(oneComp(), 200)
+	schd, _ := Benchmark(mpkSplit(oslib.SchedName), 200)
+	if schd.ReqPerSec < 0.85*base.ReqPerSec {
+		t.Fatalf("scheduler split should stay within 15%% of baseline: %.0f vs %.0f",
+			schd.ReqPerSec, base.ReqPerSec)
+	}
+}
+
+func TestServedCounter(t *testing.T) {
+	cat, st := Catalog()
+	img, err := core.Build(cat, oneComp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := img.NewContext("t", Name)
+	if _, err := ctx.Call(Name, "setup"); err != nil {
+		t.Fatal(err)
+	}
+	if st.Served() != 0 {
+		t.Fatal("fresh server served requests")
+	}
+}

@@ -1,0 +1,268 @@
+// Package redis implements the Redis miniature used by the paper's
+// headline evaluation (Fig. 6 top, Fig. 8): a key-value server whose GET
+// path exercises the four Figure-6 components — the application itself
+// ("libredis"), the C library ("newlib"), the scheduler surface
+// ("uksched") and the network stack ("lwip").
+//
+// The per-request call pattern encodes the communication structure the
+// paper measures: Redis's event loop talks to the scheduler intensely
+// (isolating uksched costs ~43%) but crosses into lwip only twice per
+// request (isolating lwip costs ~11%).
+package redis
+
+import (
+	"fmt"
+
+	"flexos/internal/core"
+	"flexos/internal/libc"
+	"flexos/internal/netstack"
+	"flexos/internal/oslib"
+)
+
+// Name is the component name used in configuration files.
+const Name = "libredis"
+
+// Components lists the Figure-6 components, in the paper's row order.
+var Components = []string{Name, libc.Name, oslib.SchedName, netstack.Name}
+
+// Calibration (cycles / counts per GET request). See DESIGN.md.
+const (
+	serveWork        = 560 // event loop + command dispatch
+	lookupWork       = 290 // hash + dict walk
+	schedCallsPerReq = 10
+	valueSize        = 16
+	requestBytes     = "GET key\r\n"
+)
+
+// State is the per-image Redis state: the keyspace dictionary. Values
+// live in the compartment's private simulated heap.
+type State struct {
+	values map[string]uintptr
+	sock   int
+	hits   uint64
+	misses uint64
+}
+
+// Register adds libredis to a catalog (Table 1: +279/-90, 16 shared
+// variables).
+func Register(cat *core.Catalog) *State {
+	st := &State{values: make(map[string]uintptr)}
+	c := core.NewComponent(Name)
+	c.PatchAdd, c.PatchDel = 279, 90
+	c.Imports = []string{libc.Name, oslib.SchedName, netstack.Name}
+	for i := 0; i < 16; i++ {
+		c.AddShared(core.SharedVar{Name: fmt.Sprintf("io_buf_%d", i), Size: 64})
+	}
+
+	// setup(keys int): create the listening socket and preload keys.
+	c.AddFunc(&core.Func{
+		Name: "setup", Work: 400, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			keys, ok := args[0].(int)
+			if !ok {
+				return nil, fmt.Errorf("redis: setup(keys int)")
+			}
+			v, err := ctx.Call(netstack.Name, "socket")
+			if err != nil {
+				return nil, err
+			}
+			st.sock = v.(int)
+			for i := 0; i < keys; i++ {
+				addr, err := ctx.AllocPrivate(valueSize)
+				if err != nil {
+					return nil, err
+				}
+				if err := ctx.Write(addr, []byte(fmt.Sprintf("value-%010d", i))); err != nil {
+					return nil, err
+				}
+				st.values[fmt.Sprintf("key%d", i)] = addr
+			}
+			return st.sock, nil
+		},
+	})
+
+	// serve_get handles one GET request end to end and returns true on a
+	// hit. It is the hot path Figure 6 measures.
+	c.AddFunc(&core.Func{
+		Name: "serve_get", Work: serveWork, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			// Shared request buffer on the stack: a DSS shadow slot
+			// under the default sharing strategy (Fig. 4).
+			reqBuf, err := ctx.StackAlloc(64, true)
+			if err != nil {
+				return nil, err
+			}
+			v, err := ctx.Call(netstack.Name, "recv", st.sock, reqBuf, 64)
+			if err != nil {
+				return nil, err
+			}
+			n := v.(int)
+			if n == 0 {
+				st.misses++
+				return false, nil
+			}
+			// Parse the command name, then the key.
+			cmdAny, err := ctx.Call(libc.Name, "parse", reqBuf, n)
+			if err != nil {
+				return nil, err
+			}
+			if cmdAny.(string) != "GET" {
+				st.misses++
+				return false, nil
+			}
+			key, err := st.parseKey(ctx, reqBuf, n)
+			if err != nil {
+				return nil, err
+			}
+
+			// Dictionary lookup + value fetch from the private heap.
+			ctx.Charge(lookupWork)
+			valAddr, ok := st.values[key]
+			hit := ok
+			reply := "$-1\r\n"
+			if ok {
+				val := make([]byte, valueSize)
+				if err := ctx.Read(valAddr, val); err != nil {
+					return nil, err
+				}
+				reply = fmt.Sprintf("$%d\r\n%s\r\n", valueSize, val)
+				st.hits++
+			} else {
+				st.misses++
+			}
+
+			// Format and transmit the reply from a shared buffer.
+			repBuf, err := ctx.StackAlloc(64, true)
+			if err != nil {
+				return nil, err
+			}
+			nv, err := ctx.Call(libc.Name, "format", repBuf, reply)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := ctx.Call(netstack.Name, "send", st.sock, repBuf, nv.(int)); err != nil {
+				return nil, err
+			}
+
+			// Event-loop bookkeeping: the scheduler chatter that makes
+			// isolating uksched expensive for Redis.
+			for i := 0; i < schedCallsPerReq; i++ {
+				fn := "wake"
+				switch i % 3 {
+				case 1:
+					fn = "block_poll"
+				case 2:
+					fn = "timer_arm"
+				}
+				if _, err := ctx.Call(oslib.SchedName, fn); err != nil {
+					return nil, err
+				}
+			}
+			return hit, nil
+		},
+	})
+	cat.MustRegister(c)
+	return st
+}
+
+// parseKey extracts the key token after "GET ".
+func (st *State) parseKey(ctx *core.Ctx, buf uintptr, n int) (string, error) {
+	raw := make([]byte, n)
+	if err := ctx.Read(buf, raw); err != nil {
+		return "", err
+	}
+	s := string(raw)
+	const prefix = "GET "
+	if len(s) <= len(prefix) {
+		return "", fmt.Errorf("redis: malformed request %q", s)
+	}
+	key := s[len(prefix):]
+	for i := 0; i < len(key); i++ {
+		if key[i] == '\r' || key[i] == '\n' {
+			key = key[:i]
+			break
+		}
+	}
+	return key, nil
+}
+
+// Hits returns the number of successful GETs (test hook).
+func (st *State) Hits() uint64 { return st.hits }
+
+// Misses returns the number of failed GETs (test hook).
+func (st *State) Misses() uint64 { return st.misses }
+
+// Catalog builds a fresh catalog with everything a Redis image needs.
+func Catalog() (*core.Catalog, *State) {
+	cat := core.NewCatalog()
+	oslib.RegisterTCB(cat)
+	oslib.RegisterSched(cat)
+	libc.Register(cat)
+	netstack.Register(cat)
+	st := Register(cat)
+	return cat, st
+}
+
+// Result is one benchmark measurement.
+type Result struct {
+	// ReqPerSec is the simulated GET throughput.
+	ReqPerSec float64
+	// Requests is the number of requests served.
+	Requests int
+	// Cycles is the simulated cycle count of the measurement phase.
+	Cycles uint64
+	// Crossings is the number of cross-compartment gate transitions.
+	Crossings uint64
+}
+
+// Benchmark builds an image for the given spec, preloads the keyspace,
+// injects requests, and measures GET throughput over the serve phase
+// (the redis-benchmark analogue).
+func Benchmark(spec core.ImageSpec, requests int) (Result, error) {
+	cat, st := Catalog()
+	img, err := core.Build(cat, spec)
+	if err != nil {
+		return Result{}, err
+	}
+	ctx, err := img.NewContext("redis-main", Name)
+	if err != nil {
+		return Result{}, err
+	}
+	const keys = 64
+	if _, err := ctx.Call(Name, "setup", keys); err != nil {
+		return Result{}, err
+	}
+	// Inject the request stream (the "NIC side" — not measured).
+	for i := 0; i < requests; i++ {
+		req := []byte(fmt.Sprintf("GET key%d\r\n", i%keys))
+		if _, err := ctx.Call(netstack.Name, "rx_enqueue", st.sock, req); err != nil {
+			return Result{}, err
+		}
+	}
+
+	startCycles := img.Mach.Clock.Cycles()
+	startCross := img.Crossings()
+	for i := 0; i < requests; i++ {
+		hit, err := ctx.Call(Name, "serve_get")
+		if err != nil {
+			return Result{}, err
+		}
+		if hit != true {
+			return Result{}, fmt.Errorf("redis: request %d missed", i)
+		}
+	}
+	cycles := img.Mach.Clock.Cycles() - startCycles
+	seconds := float64(cycles) / img.Mach.Costs.FreqHz
+	return Result{
+		ReqPerSec: float64(requests) / seconds,
+		Requests:  requests,
+		Cycles:    cycles,
+		Crossings: img.Crossings() - startCross,
+	}, nil
+}
+
+// Components4 returns the Figure 6 component quadruple as a fixed-size
+// array (app, libc, scheduler, network stack).
+func Components4() [4]string {
+	return [4]string{Name, libc.Name, oslib.SchedName, netstack.Name}
+}

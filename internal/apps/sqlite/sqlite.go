@@ -1,0 +1,239 @@
+// Package sqlite implements the SQLite miniature of §6.4: an embedded SQL
+// engine executing INSERT statements, each in its own journaled
+// transaction, to put pressure on the filesystem. The per-query I/O
+// pattern — rollback-journal write, page write, syncs, journal unlink,
+// all in small chunks — generates the dense stream of vfs and time
+// crossings that makes the MPK3 (filesystem / time / rest) and EPT2
+// (filesystem+time / rest) scenarios of Figure 10 expensive.
+package sqlite
+
+import (
+	"fmt"
+
+	"flexos/internal/core"
+	"flexos/internal/libc"
+	"flexos/internal/oslib"
+	"flexos/internal/ramfs"
+	"flexos/internal/timesys"
+	"flexos/internal/vfs"
+)
+
+// Name is the component name used in configuration files.
+const Name = "libsqlite"
+
+// Components lists all components an SQLite image links.
+var Components = []string{Name, libc.Name, oslib.SchedName, vfs.Name, ramfs.Name, timesys.Name}
+
+// Workload shape per INSERT query (see DESIGN.md calibration):
+// chunked journal and page writes at chunkSize granularity stress the
+// vfs boundary ~100 times per query, and every vfs operation timestamps
+// through uktime.
+const (
+	execWork    = 11000 // SQL parse + codegen + btree update
+	chunkSize   = 32
+	journalSize = 512
+	pageSize    = 2048
+)
+
+// State is the per-image engine state.
+type State struct {
+	rows   uint64
+	dbFD   int
+	opened bool
+}
+
+// Register adds libsqlite to a catalog (Table 1: +199/-145, 24 shared
+// variables).
+func Register(cat *core.Catalog) *State {
+	st := &State{}
+	c := core.NewComponent(Name)
+	c.PatchAdd, c.PatchDel = 199, 145
+	c.Imports = []string{libc.Name, vfs.Name, timesys.Name}
+	for i := 0; i < 24; i++ {
+		c.AddShared(core.SharedVar{Name: fmt.Sprintf("pager_buf_%d", i), Size: 64})
+	}
+
+	// open_db() opens the database file.
+	c.AddFunc(&core.Func{
+		Name: "open_db", Work: 900, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			v, err := ctx.Call(vfs.Name, "open", "/test.db")
+			if err != nil {
+				return nil, err
+			}
+			st.dbFD = v.(int)
+			st.opened = true
+			return st.dbFD, nil
+		},
+	})
+
+	// exec_insert(i) runs: BEGIN; INSERT INTO t VALUES(i, ...); COMMIT;
+	// with a rollback journal, like the paper's benchmark where "each
+	// query is in a separate transaction".
+	c.AddFunc(&core.Func{
+		Name: "exec_insert", Work: execWork, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			if !st.opened {
+				return nil, fmt.Errorf("sqlite: database not open")
+			}
+			i, ok := args[0].(int)
+			if !ok {
+				return nil, fmt.Errorf("sqlite: exec_insert(i int)")
+			}
+			// Timestamp the transaction start.
+			if _, err := ctx.Call(timesys.Name, "now"); err != nil {
+				return nil, err
+			}
+
+			// Stage the SQL text and row image in a shared buffer (it
+			// crosses into vfs).
+			buf, err := ctx.StackAlloc(chunkSize, true)
+			if err != nil {
+				return nil, err
+			}
+			row := fmt.Sprintf("INSERT(%d)", i)
+			if _, err := ctx.Call(libc.Name, "format", buf, row); err != nil {
+				return nil, err
+			}
+
+			// 1. Open the rollback journal and write the page backup.
+			jv, err := ctx.Call(vfs.Name, "open", "/test.db-journal")
+			if err != nil {
+				return nil, err
+			}
+			jfd := jv.(int)
+			for off := 0; off < journalSize; off += chunkSize {
+				if _, err := ctx.Call(vfs.Name, "write", jfd, buf, chunkSize); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := ctx.Call(vfs.Name, "fsync", jfd); err != nil {
+				return nil, err
+			}
+
+			// 2. Write the modified b-tree page to the database.
+			if _, err := ctx.Call(vfs.Name, "seek", st.dbFD, 0); err != nil {
+				return nil, err
+			}
+			for off := 0; off < pageSize; off += chunkSize {
+				if _, err := ctx.Call(vfs.Name, "write", st.dbFD, buf, chunkSize); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := ctx.Call(vfs.Name, "fsync", st.dbFD); err != nil {
+				return nil, err
+			}
+
+			// 3. Commit: close and delete the journal.
+			if _, err := ctx.Call(vfs.Name, "close", jfd); err != nil {
+				return nil, err
+			}
+			if _, err := ctx.Call(vfs.Name, "unlink", "/test.db-journal"); err != nil {
+				return nil, err
+			}
+
+			// Timestamp the commit.
+			if _, err := ctx.Call(timesys.Name, "now"); err != nil {
+				return nil, err
+			}
+			st.rows++
+			return st.rows, nil
+		},
+	})
+	cat.MustRegister(c)
+	return st
+}
+
+// Rows returns the number of committed inserts (test hook).
+func (st *State) Rows() uint64 { return st.rows }
+
+// Catalog builds a fresh catalog with everything an SQLite image needs.
+func Catalog() (*core.Catalog, *State) {
+	cat := core.NewCatalog()
+	oslib.RegisterTCB(cat)
+	oslib.RegisterSched(cat)
+	libc.Register(cat)
+	timesys.Register(cat)
+	ramfs.Register(cat)
+	vfs.Register(cat)
+	st := Register(cat)
+	return cat, st
+}
+
+// Result is one benchmark measurement.
+type Result struct {
+	// Seconds is the simulated execution time of the insert loop.
+	Seconds float64
+	// Queries is the number of INSERTs executed.
+	Queries   int
+	Cycles    uint64
+	Crossings uint64
+}
+
+// Benchmark executes `queries` INSERTs under the given configuration and
+// returns the simulated execution time — the Figure 10 measurement.
+func Benchmark(spec core.ImageSpec, queries int) (Result, error) {
+	cat, st := Catalog()
+	img, err := core.Build(cat, spec)
+	if err != nil {
+		return Result{}, err
+	}
+	ctx, err := img.NewContext("sqlite-main", Name)
+	if err != nil {
+		return Result{}, err
+	}
+	if _, err := ctx.Call(Name, "open_db"); err != nil {
+		return Result{}, err
+	}
+	startCycles := img.Mach.Clock.Cycles()
+	startCross := img.Crossings()
+	for i := 0; i < queries; i++ {
+		if _, err := ctx.Call(Name, "exec_insert", i); err != nil {
+			return Result{}, err
+		}
+	}
+	if st.Rows() != uint64(queries) {
+		return Result{}, fmt.Errorf("sqlite: committed %d rows, want %d", st.Rows(), queries)
+	}
+	cycles := img.Mach.Clock.Cycles() - startCycles
+	return Result{
+		Seconds:   float64(cycles) / img.Mach.Costs.FreqHz,
+		Queries:   queries,
+		Cycles:    cycles,
+		Crossings: img.Crossings() - startCross,
+	}, nil
+}
+
+// FSOpsPerQuery reports the vfs-call count of one query (used by the
+// Figure 10 baseline comparators so that every system runs the same
+// workload shape).
+func FSOpsPerQuery() int {
+	// open + journal writes + fsync + seek + page writes + fsync +
+	// close + unlink
+	return 1 + journalSize/chunkSize + 1 + 1 + pageSize/chunkSize + 1 + 1 + 1
+}
+
+// TimeOpsPerQuery reports direct uktime calls per query (excluding the
+// per-vfs-op timestamps, which FSOpsPerQuery implies).
+func TimeOpsPerQuery() int { return 2 }
+
+// BaseWorkCycles estimates the pure compute (no gates) of one query on
+// the calibrated cost model; baselines add their own crossing costs on
+// top. It is measured, not assumed: we run one query on a
+// single-compartment NONE image.
+func BaseWorkCycles() (uint64, error) {
+	res, err := Benchmark(core.ImageSpec{
+		Mechanism: "none",
+		Comps:     []core.CompSpec{{Name: "c0", Libs: Components2()}},
+	}, 50)
+	if err != nil {
+		return 0, err
+	}
+	return res.Cycles / uint64(res.Queries), nil
+}
+
+// Components2 returns all components plus the TCB ones, for building
+// one-compartment images programmatically.
+func Components2() []string {
+	return append([]string{oslib.BootName, oslib.MMName}, Components...)
+}

@@ -1,0 +1,190 @@
+package sqlite
+
+import (
+	"testing"
+
+	"flexos/internal/core"
+	"flexos/internal/isolation"
+	"flexos/internal/mem"
+	"flexos/internal/oslib"
+	"flexos/internal/ramfs"
+	"flexos/internal/timesys"
+	"flexos/internal/vfs"
+)
+
+// specNone is the FlexOS-without-isolation configuration.
+func specNone() core.ImageSpec {
+	return core.ImageSpec{
+		Mechanism: "none",
+		Comps:     []core.CompSpec{{Name: "c0", Libs: Components2()}},
+	}
+}
+
+// specMPK3 is the paper's MPK3 scenario: filesystem isolated from the
+// time subsystem from the rest of the system.
+func specMPK3() core.ImageSpec {
+	rest := []string{oslib.BootName, oslib.MMName, Name, "newlib", oslib.SchedName}
+	return core.ImageSpec{
+		Mechanism: "intel-mpk",
+		GateMode:  isolation.GateFull,
+		Sharing:   isolation.ShareDSS,
+		Comps: []core.CompSpec{
+			{Name: "comp0", Libs: rest},
+			{Name: "fs", Libs: []string{vfs.Name, ramfs.Name}},
+			{Name: "time", Libs: []string{timesys.Name}},
+		},
+	}
+}
+
+// specEPT2 is the paper's EPT2 scenario: the filesystem (with its time
+// dependency) isolated from the application.
+func specEPT2() core.ImageSpec {
+	rest := []string{oslib.BootName, oslib.MMName, Name, "newlib", oslib.SchedName}
+	return core.ImageSpec{
+		Mechanism: "vm-ept",
+		Comps: []core.CompSpec{
+			{Name: "comp0", Libs: rest},
+			{Name: "fs", Libs: []string{vfs.Name, ramfs.Name, timesys.Name}},
+		},
+	}
+}
+
+func TestInsertFunctional(t *testing.T) {
+	res, err := Benchmark(specNone(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 20 || res.Seconds <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestBaselineCalibration(t *testing.T) {
+	// Fig. 10: 5000 INSERTs take ~0.052s on Unikraft / FlexOS NONE.
+	// Scale: 250 queries should take ~0.0026s.
+	res, err := Benchmark(specNone(), 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perQuery := res.Seconds / float64(res.Queries)
+	if perQuery < 6e-6 || perQuery > 16e-6 {
+		t.Fatalf("per-query time = %.2fus, want ~10.4us", perQuery*1e6)
+	}
+}
+
+func TestMPK3RoughlyDoubles(t *testing.T) {
+	// Fig. 10: FlexOS MPK3 adds ~2x over NONE.
+	none, err := Benchmark(specNone(), 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpk3, err := Benchmark(specMPK3(), 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := mpk3.Seconds / none.Seconds
+	if ratio < 1.6 || ratio > 2.6 {
+		t.Fatalf("MPK3/NONE = %.2fx, want ~2x", ratio)
+	}
+}
+
+func TestEPT2SlowerThanMPK3(t *testing.T) {
+	// Fig. 10 ordering: NONE < MPK3 < EPT2, with EPT2 ~3.3x NONE.
+	none, err := Benchmark(specNone(), 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpk3, err := Benchmark(specMPK3(), 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ept2, err := Benchmark(specEPT2(), 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(none.Seconds < mpk3.Seconds && mpk3.Seconds < ept2.Seconds) {
+		t.Fatalf("ordering broken: none=%.4f mpk3=%.4f ept2=%.4f",
+			none.Seconds, mpk3.Seconds, ept2.Seconds)
+	}
+	ratio := ept2.Seconds / none.Seconds
+	if ratio < 2.4 || ratio > 4.4 {
+		t.Fatalf("EPT2/NONE = %.2fx, want ~3.3x", ratio)
+	}
+}
+
+func TestWorkloadShapeConstants(t *testing.T) {
+	if FSOpsPerQuery() < 50 {
+		t.Fatalf("FSOpsPerQuery = %d; the workload must stress the filesystem", FSOpsPerQuery())
+	}
+	if TimeOpsPerQuery() != 2 {
+		t.Fatalf("TimeOpsPerQuery = %d", TimeOpsPerQuery())
+	}
+	w, err := BaseWorkCycles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~22.9k cycles/query at calibration.
+	if w < 12000 || w > 36000 {
+		t.Fatalf("BaseWorkCycles = %d, want ~23k", w)
+	}
+}
+
+func TestRamfsVfscoreEntanglement(t *testing.T) {
+	// §4.4: ramfs is so entangled with vfscore that isolating it alone
+	// is wrong — in FlexOS-Go, splitting them means vfs passes node
+	// buffers it cannot reach. Verify the sanctioned split (together)
+	// works and that the state stays consistent.
+	cat, _ := Catalog()
+	img, err := core.Build(cat, specMPK3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := img.NewContext("t", Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.Call(Name, "open_db"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.Call(Name, "exec_insert", 1); err != nil {
+		t.Fatal(err)
+	}
+	// The database file must contain the written page.
+	v, err := ctx.Call(vfs.Name, "size", "/test.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 2048 {
+		t.Fatalf("db size = %d, want 2048", v)
+	}
+	// The journal must be gone after commit.
+	if _, err := ctx.Call(vfs.Name, "size", "/test.db-journal"); err == nil {
+		t.Fatal("journal survived the commit")
+	}
+}
+
+func TestDirectPrivateFSAccessFaults(t *testing.T) {
+	// An application thread must not be able to touch filesystem state
+	// directly when the fs is compartmentalized: that is the whole point.
+	cat, _ := Catalog()
+	img, err := core.Build(cat, specMPK3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := img.NewContext("t", Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsComp, ok := img.Comp(vfs.Name)
+	if !ok {
+		t.Fatal("no fs compartment")
+	}
+	addr, err := fsComp.Heap.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ctx.Read(addr, make([]byte, 8))
+	if !mem.IsFault(err, mem.FaultKeyViolation) {
+		t.Fatalf("app read of fs-private memory: got %v, want key violation", err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package baseline implements the comparator systems of the paper's
+// Figure 10 (SQLite, 5000 INSERTs): Linux processes, the SeL4/Genode
+// microkernel, Unikraft on the linuxu platform, and CubicleOS.
+//
+// Each comparator is a cost composition over the same workload shape the
+// FlexOS images execute (per-query base work, filesystem-operation count,
+// time-subsystem calls — exported by the sqlite app package), with the
+// comparator's own domain-crossing primitive costs:
+//
+//   - Linux: one system call per filesystem operation (±KPTI);
+//   - SeL4/Genode: two IPCs plus capability validation per operation;
+//   - Unikraft/linuxu: ring-3 execution where privileged operations
+//     become Linux system calls (the paper attributes CubicleOS' poor
+//     showing partly to this);
+//   - CubicleOS: linuxu plus pkey_mprotect-based domain transitions and
+//     trap-and-map faults for shared data — "orders of magnitude more
+//     expensive" than FlexOS' wrpkru gates — but with the Lea allocator,
+//     which beats TLSF on this workload (§6.4).
+//
+// Absolute constants come from the paper's own microbenchmarks (Fig. 11b)
+// and its quoted ratios; see DESIGN.md for the full derivation.
+package baseline
+
+import (
+	"fmt"
+
+	"flexos/internal/machine"
+)
+
+// Workload is the per-query shape of the SQLite benchmark, measured on a
+// FlexOS NONE image so every comparator runs "the same" workload.
+type Workload struct {
+	// Queries is the number of INSERT transactions.
+	Queries int
+	// BaseWorkCycles is the pure compute per query (no crossings).
+	BaseWorkCycles uint64
+	// FSOps is the number of filesystem operations per query.
+	FSOps int
+	// TimeOps is the number of direct clock reads per query.
+	TimeOps int
+}
+
+// Comparator models one Figure 10 system.
+type Comparator interface {
+	// Name is the Figure 10 column label.
+	Name() string
+	// Isolation is the x-axis annotation (NONE, PT2, PT3, MPK3).
+	Isolation() string
+	// CyclesPerQuery composes the comparator's per-query cost.
+	CyclesPerQuery(w Workload, c machine.CostModel) uint64
+}
+
+// Seconds runs a comparator over the workload.
+func Seconds(cmp Comparator, w Workload, c machine.CostModel) float64 {
+	return float64(uint64(w.Queries)*cmp.CyclesPerQuery(w, c)) / c.FreqHz
+}
+
+// LinuxProcess is the Linux column: the filesystem is behind the
+// user/kernel boundary, so every filesystem operation is a system call.
+// The paper's machine runs KPTI (Meltdown-era Xeon), making the syscall
+// cost 470 cycles — which is why "FlexOS with EPT2 performs almost
+// identically to Linux: the syscall latency is almost identical to the
+// EPT2 gate latency on this system".
+type LinuxProcess struct {
+	// KPTI selects the page-table-isolation syscall cost.
+	KPTI bool
+}
+
+// Name implements Comparator.
+func (l LinuxProcess) Name() string { return "Linux" }
+
+// Isolation implements Comparator.
+func (l LinuxProcess) Isolation() string { return "PT2" }
+
+// CyclesPerQuery implements Comparator.
+func (l LinuxProcess) CyclesPerQuery(w Workload, c machine.CostModel) uint64 {
+	sys := c.SyscallNoKPTI
+	if l.KPTI {
+		sys = c.SyscallKPTI
+	}
+	return w.BaseWorkCycles + uint64(w.FSOps)*sys
+}
+
+// SeL4Genode is the microkernel column: the filesystem is a user-level
+// server, so each operation is a call/reply IPC pair with capability
+// validation.
+type SeL4Genode struct{}
+
+// capValidation is the per-call capability/endpoint bookkeeping beyond
+// the raw IPC path.
+const capValidation = 60
+
+// Name implements Comparator.
+func (SeL4Genode) Name() string { return "SeL4/Genode" }
+
+// Isolation implements Comparator.
+func (SeL4Genode) Isolation() string { return "PT3" }
+
+// CyclesPerQuery implements Comparator.
+func (SeL4Genode) CyclesPerQuery(w Workload, c machine.CostModel) uint64 {
+	perOp := 2*c.SeL4IPC + capValidation
+	return w.BaseWorkCycles + uint64(w.FSOps)*perOp
+}
+
+// UnikraftLinuxu is Unikraft's Linux-userland debug platform: the whole
+// unikernel runs in ring 3 and privileged operations (I/O, clock,
+// scheduling assists) become Linux system calls. The paper measures it at
+// ~13.5x the KVM baseline on this workload.
+type UnikraftLinuxu struct{}
+
+// linuxuSyscallFactor is how many Linux system calls one FlexOS-level
+// filesystem operation expands to under linuxu (I/O + clock + signal
+// bookkeeping).
+const linuxuSyscallFactor = 6
+
+// Name implements Comparator.
+func (UnikraftLinuxu) Name() string { return "Unikraft/linuxu" }
+
+// Isolation implements Comparator.
+func (UnikraftLinuxu) Isolation() string { return "NONE" }
+
+// CyclesPerQuery implements Comparator.
+func (UnikraftLinuxu) CyclesPerQuery(w Workload, c machine.CostModel) uint64 {
+	sys := uint64(w.FSOps*linuxuSyscallFactor+w.TimeOps) * c.SyscallKPTI
+	return w.BaseWorkCycles + sys
+}
+
+// CubicleOS extends linuxu: domain transitions use pkey_mprotect system
+// calls (CubicleOS does not program the PKRU directly) and cross-
+// compartment data access uses the trap-and-map mechanism. Its allocator
+// is Lea, which the paper observes beats TLSF here — modeled as a small
+// constant advantage on the allocator-heavy base work.
+type CubicleOS struct {
+	// MPK3 enables the three-compartment isolation profile; false is
+	// the no-isolation baseline.
+	MPK3 bool
+}
+
+// Calibration for CubicleOS (see DESIGN.md): Lea saves ~6% of linuxu
+// base time on this allocation-heavy workload; each query performs
+// trap-and-map faults on the first touches of shared windows.
+const (
+	leaAdvantageNum    = 94
+	leaAdvantageDen    = 100
+	trapAndMapPerQuery = 25
+)
+
+// Name implements Comparator.
+func (cb CubicleOS) Name() string { return "CubicleOS" }
+
+// Isolation implements Comparator.
+func (cb CubicleOS) Isolation() string {
+	if cb.MPK3 {
+		return "MPK3"
+	}
+	return "NONE"
+}
+
+// CyclesPerQuery implements Comparator.
+func (cb CubicleOS) CyclesPerQuery(w Workload, c machine.CostModel) uint64 {
+	base := UnikraftLinuxu{}.CyclesPerQuery(w, c)
+	base = base * leaAdvantageNum / leaAdvantageDen
+	if !cb.MPK3 {
+		return base
+	}
+	// MPK3: fs / time / rest. Transitions on every fs op (in and out of
+	// the fs compartment) and every fs-op timestamp, via pkey_mprotect.
+	transitions := uint64(2*w.FSOps + w.TimeOps)
+	return base + transitions*c.PkeyMprotect + trapAndMapPerQuery*c.TrapAndMap
+}
+
+// Row is one Figure 10 bar.
+type Row struct {
+	System    string
+	Isolation string
+	Seconds   float64
+}
+
+// String implements fmt.Stringer.
+func (r Row) String() string {
+	return fmt.Sprintf("%-16s %-5s %8.3fs", r.System, r.Isolation, r.Seconds)
+}
+
+// Comparators returns the Figure 10 comparator set in presentation order.
+func Comparators() []Comparator {
+	return []Comparator{
+		UnikraftLinuxu{},
+		LinuxProcess{KPTI: true},
+		SeL4Genode{},
+		CubicleOS{MPK3: false},
+		CubicleOS{MPK3: true},
+	}
+}

@@ -1,0 +1,112 @@
+package baseline
+
+import (
+	"testing"
+
+	"flexos/internal/machine"
+)
+
+// paperWorkload approximates the measured FlexOS NONE workload shape:
+// ~22.9k cycles/query, ~103 fs ops, 2 direct clock reads.
+func paperWorkload() Workload {
+	return Workload{Queries: 5000, BaseWorkCycles: 22900, FSOps: 103, TimeOps: 2}
+}
+
+func TestLinuxRatio(t *testing.T) {
+	// Fig. 10: Linux ~3.4x the Unikraft baseline (0.177s vs 0.052s).
+	w := paperWorkload()
+	c := machine.DefaultCosts()
+	base := float64(w.BaseWorkCycles)
+	linux := float64(LinuxProcess{KPTI: true}.CyclesPerQuery(w, c))
+	ratio := linux / base
+	if ratio < 2.5 || ratio > 4.3 {
+		t.Fatalf("Linux/baseline = %.2fx, want ~3.4x", ratio)
+	}
+	// Without KPTI, Linux gets much closer to the LibOS.
+	nokpti := float64(LinuxProcess{}.CyclesPerQuery(w, c))
+	if nokpti >= linux {
+		t.Fatal("KPTI must cost something")
+	}
+}
+
+func TestSeL4Ratio(t *testing.T) {
+	// Fig. 10: SeL4/Genode ~6.4x baseline (0.333s vs 0.052s), i.e. 3.1x
+	// FlexOS MPK3 and 2x EPT2.
+	w := paperWorkload()
+	c := machine.DefaultCosts()
+	ratio := float64(SeL4Genode{}.CyclesPerQuery(w, c)) / float64(w.BaseWorkCycles)
+	if ratio < 4.5 || ratio > 8.5 {
+		t.Fatalf("SeL4/baseline = %.2fx, want ~6.4x", ratio)
+	}
+}
+
+func TestLinuxuRatio(t *testing.T) {
+	// Fig. 10: Unikraft linuxu ~13.5x the KVM baseline (0.702s vs 0.052s).
+	w := paperWorkload()
+	c := machine.DefaultCosts()
+	ratio := float64(UnikraftLinuxu{}.CyclesPerQuery(w, c)) / float64(w.BaseWorkCycles)
+	if ratio < 9 || ratio > 18 {
+		t.Fatalf("linuxu/baseline = %.2fx, want ~13.5x", ratio)
+	}
+}
+
+func TestCubicleOSRatios(t *testing.T) {
+	w := paperWorkload()
+	c := machine.DefaultCosts()
+	cubNone := float64(CubicleOS{}.CyclesPerQuery(w, c))
+	cubMPK3 := float64(CubicleOS{MPK3: true}.CyclesPerQuery(w, c))
+	linuxu := float64(UnikraftLinuxu{}.CyclesPerQuery(w, c))
+
+	// "CubicleOS without isolation is faster than the Unikraft linuxu
+	// baseline" (Lea vs TLSF).
+	if cubNone >= linuxu {
+		t.Fatalf("CubicleOS NONE (%.0f) must beat linuxu (%.0f)", cubNone, linuxu)
+	}
+	// "CubicleOS with MPK3 adds an overhead of 2.4x" over its own
+	// baseline.
+	ratio := cubMPK3 / cubNone
+	if ratio < 1.8 || ratio > 3.0 {
+		t.Fatalf("CubicleOS MPK3/NONE = %.2fx, want ~2.4x", ratio)
+	}
+	// "Compared to CubicleOS, FlexOS is an order of magnitude faster":
+	// FlexOS MPK3 is ~2x base, CubicleOS MPK3 ~30x base.
+	if cubMPK3/float64(w.BaseWorkCycles) < 20 {
+		t.Fatalf("CubicleOS MPK3 = %.1fx baseline, want ~30x", cubMPK3/float64(w.BaseWorkCycles))
+	}
+}
+
+func TestSecondsScalesWithQueries(t *testing.T) {
+	w := paperWorkload()
+	c := machine.DefaultCosts()
+	full := Seconds(LinuxProcess{KPTI: true}, w, c)
+	w.Queries = 2500
+	half := Seconds(LinuxProcess{KPTI: true}, w, c)
+	if full <= 0 || half <= 0 || full/half < 1.99 || full/half > 2.01 {
+		t.Fatalf("Seconds not linear in queries: %v vs %v", full, half)
+	}
+}
+
+func TestComparatorsMetadata(t *testing.T) {
+	for _, cmp := range Comparators() {
+		if cmp.Name() == "" || cmp.Isolation() == "" {
+			t.Fatalf("comparator %T missing metadata", cmp)
+		}
+	}
+}
+
+func TestFigure10Ordering(t *testing.T) {
+	// End-to-end shape: base < Linux < SeL4 < CubicleOS-NONE < linuxu is
+	// wrong — the measured order is base < Linux < SeL4 < CubicleOS-NONE
+	// ~ linuxu < CubicleOS-MPK3.
+	w := paperWorkload()
+	c := machine.DefaultCosts()
+	lx := float64(LinuxProcess{KPTI: true}.CyclesPerQuery(w, c))
+	s4 := float64(SeL4Genode{}.CyclesPerQuery(w, c))
+	cn := float64(CubicleOS{}.CyclesPerQuery(w, c))
+	lu := float64(UnikraftLinuxu{}.CyclesPerQuery(w, c))
+	cm := float64(CubicleOS{MPK3: true}.CyclesPerQuery(w, c))
+	if !(float64(w.BaseWorkCycles) < lx && lx < s4 && s4 < cn && cn < lu && lu < cm) {
+		t.Fatalf("Fig. 10 ordering broken: base=%d linux=%.0f sel4=%.0f cubNone=%.0f linuxu=%.0f cubMPK=%.0f",
+			w.BaseWorkCycles, lx, s4, cn, lu, cm)
+	}
+}

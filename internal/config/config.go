@@ -1,0 +1,342 @@
+// Package config parses FlexOS build-time configuration files — the
+// YAML-subset format shown in §3 of the paper:
+//
+//	compartments:
+//	- comp1:
+//	    mechanism: intel-mpk
+//	    default: true
+//	- comp2:
+//	    mechanism: intel-mpk
+//	    hardening: [cfi, asan]
+//	libraries:
+//	- libredis: comp1
+//	- libopenjpg: comp2
+//	- lwip: comp2
+//
+// Two optional top-level keys extend the paper's example with the knobs
+// its evaluation varies: "gate: light|full" (MPK gate flavor, §4.1) and
+// "sharing: dss|heap|stack" (data sharing strategy, §4.1).
+//
+// The parser is deliberately small and hand-rolled: the repository uses
+// only the Go standard library, and the format needs exactly the shapes
+// above.
+package config
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Compartment is one compartment declaration.
+type Compartment struct {
+	// Name is the compartment identifier (e.g. "comp1").
+	Name string
+	// Mechanism is the isolation backend name ("intel-mpk", "vm-ept",
+	// "none", "cheri"). All compartments of an image must agree.
+	Mechanism string
+	// Hardening lists software hardening names ("cfi", "asan", ...).
+	Hardening []string
+	// Default marks the compartment that receives unassigned libraries.
+	Default bool
+}
+
+// Config is a parsed configuration file.
+type Config struct {
+	Compartments []Compartment
+	// Libraries maps library name to compartment name, in file order.
+	Libraries []LibAssignment
+	// Gate selects the gate flavor: "", "light" or "full".
+	Gate string
+	// Sharing selects the stack-data sharing strategy: "", "dss", "heap"
+	// or "stack".
+	Sharing string
+}
+
+// LibAssignment maps one library into a compartment.
+type LibAssignment struct {
+	Library     string
+	Compartment string
+}
+
+// Compartment returns the declaration with the given name, or nil.
+func (c *Config) Compartment(name string) *Compartment {
+	for i := range c.Compartments {
+		if c.Compartments[i].Name == name {
+			return &c.Compartments[i]
+		}
+	}
+	return nil
+}
+
+// DefaultCompartment returns the compartment marked default, or the first
+// one.
+func (c *Config) DefaultCompartment() *Compartment {
+	for i := range c.Compartments {
+		if c.Compartments[i].Default {
+			return &c.Compartments[i]
+		}
+	}
+	if len(c.Compartments) > 0 {
+		return &c.Compartments[0]
+	}
+	return nil
+}
+
+// Mechanism returns the image's isolation mechanism: the default
+// compartment's, or "none" when unspecified.
+func (c *Config) Mechanism() string {
+	for _, comp := range c.Compartments {
+		if comp.Mechanism != "" {
+			return comp.Mechanism
+		}
+	}
+	return "none"
+}
+
+// Parse parses a configuration file.
+func Parse(text string) (*Config, error) {
+	p := &parser{lines: splitLines(text)}
+	cfg := &Config{}
+	if err := p.parse(cfg); err != nil {
+		return nil, err
+	}
+	if err := Validate(cfg); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// Validate checks structural invariants: unique names, consistent
+// mechanism, assignments referring to declared compartments.
+func Validate(cfg *Config) error {
+	if len(cfg.Compartments) == 0 {
+		return fmt.Errorf("config: no compartments declared")
+	}
+	seen := map[string]bool{}
+	mech := ""
+	defaults := 0
+	for _, comp := range cfg.Compartments {
+		if comp.Name == "" {
+			return fmt.Errorf("config: compartment with empty name")
+		}
+		if seen[comp.Name] {
+			return fmt.Errorf("config: duplicate compartment %q", comp.Name)
+		}
+		seen[comp.Name] = true
+		if comp.Default {
+			defaults++
+		}
+		if comp.Mechanism == "" {
+			continue
+		}
+		if mech == "" {
+			mech = comp.Mechanism
+		} else if mech != comp.Mechanism {
+			return fmt.Errorf("config: mixed mechanisms %q and %q in one image", mech, comp.Mechanism)
+		}
+	}
+	if defaults > 1 {
+		return fmt.Errorf("config: multiple default compartments")
+	}
+	libs := map[string]bool{}
+	for _, a := range cfg.Libraries {
+		if libs[a.Library] {
+			return fmt.Errorf("config: library %q assigned twice", a.Library)
+		}
+		libs[a.Library] = true
+		if !seen[a.Compartment] {
+			return fmt.Errorf("config: library %q assigned to undeclared compartment %q", a.Library, a.Compartment)
+		}
+	}
+	switch cfg.Gate {
+	case "", "light", "full":
+	default:
+		return fmt.Errorf("config: unknown gate flavor %q", cfg.Gate)
+	}
+	switch cfg.Sharing {
+	case "", "dss", "heap", "stack":
+	default:
+		return fmt.Errorf("config: unknown sharing strategy %q", cfg.Sharing)
+	}
+	return nil
+}
+
+type line struct {
+	no     int
+	indent int
+	text   string // trimmed
+}
+
+func splitLines(text string) []line {
+	var out []line
+	for i, raw := range strings.Split(text, "\n") {
+		if idx := strings.Index(raw, "#"); idx >= 0 {
+			raw = raw[:idx]
+		}
+		trimmed := strings.TrimRight(raw, " \t\r")
+		if strings.TrimSpace(trimmed) == "" {
+			continue
+		}
+		indent := 0
+		for _, r := range trimmed {
+			if r == ' ' {
+				indent++
+			} else if r == '\t' {
+				indent += 4
+			} else {
+				break
+			}
+		}
+		out = append(out, line{no: i + 1, indent: indent, text: strings.TrimSpace(trimmed)})
+	}
+	return out
+}
+
+type parser struct {
+	lines []line
+	pos   int
+}
+
+func (p *parser) cur() (line, bool) {
+	if p.pos >= len(p.lines) {
+		return line{}, false
+	}
+	return p.lines[p.pos], true
+}
+
+func (p *parser) parse(cfg *Config) error {
+	for {
+		ln, ok := p.cur()
+		if !ok {
+			return nil
+		}
+		switch {
+		case ln.text == "compartments:":
+			p.pos++
+			if err := p.parseCompartments(cfg, ln.indent); err != nil {
+				return err
+			}
+		case ln.text == "libraries:":
+			p.pos++
+			if err := p.parseLibraries(cfg, ln.indent); err != nil {
+				return err
+			}
+		case strings.HasPrefix(ln.text, "gate:"):
+			cfg.Gate = strings.TrimSpace(strings.TrimPrefix(ln.text, "gate:"))
+			p.pos++
+		case strings.HasPrefix(ln.text, "sharing:"):
+			cfg.Sharing = strings.TrimSpace(strings.TrimPrefix(ln.text, "sharing:"))
+			p.pos++
+		default:
+			return fmt.Errorf("config: line %d: unexpected %q", ln.no, ln.text)
+		}
+	}
+}
+
+func (p *parser) parseCompartments(cfg *Config, parentIndent int) error {
+	for {
+		ln, ok := p.cur()
+		if !ok || ln.indent <= parentIndent && !strings.HasPrefix(ln.text, "-") {
+			return nil
+		}
+		if !strings.HasPrefix(ln.text, "- ") {
+			return nil
+		}
+		head := strings.TrimSpace(strings.TrimPrefix(ln.text, "- "))
+		name := strings.TrimSuffix(head, ":")
+		if name == head && strings.Contains(head, ":") {
+			return fmt.Errorf("config: line %d: compartment entries look like \"- name:\"", ln.no)
+		}
+		comp := Compartment{Name: name}
+		itemIndent := ln.indent
+		p.pos++
+		for {
+			sub, ok := p.cur()
+			if !ok || sub.indent <= itemIndent {
+				break
+			}
+			key, val, found := strings.Cut(sub.text, ":")
+			if !found {
+				return fmt.Errorf("config: line %d: expected key: value, got %q", sub.no, sub.text)
+			}
+			key = strings.TrimSpace(key)
+			val = strings.TrimSpace(val)
+			switch key {
+			case "mechanism":
+				comp.Mechanism = val
+			case "default":
+				comp.Default = val == "true" || val == "True" || val == "yes"
+			case "hardening":
+				comp.Hardening = parseList(val)
+			default:
+				return fmt.Errorf("config: line %d: unknown compartment key %q", sub.no, key)
+			}
+			p.pos++
+		}
+		cfg.Compartments = append(cfg.Compartments, comp)
+	}
+}
+
+func (p *parser) parseLibraries(cfg *Config, parentIndent int) error {
+	for {
+		ln, ok := p.cur()
+		if !ok || !strings.HasPrefix(ln.text, "- ") {
+			return nil
+		}
+		body := strings.TrimSpace(strings.TrimPrefix(ln.text, "- "))
+		lib, comp, found := strings.Cut(body, ":")
+		if !found {
+			return fmt.Errorf("config: line %d: expected \"- lib: comp\", got %q", ln.no, body)
+		}
+		cfg.Libraries = append(cfg.Libraries, LibAssignment{
+			Library:     strings.TrimSpace(lib),
+			Compartment: strings.TrimSpace(comp),
+		})
+		p.pos++
+	}
+}
+
+func parseList(val string) []string {
+	val = strings.TrimPrefix(strings.TrimSuffix(val, "]"), "[")
+	if strings.TrimSpace(val) == "" {
+		return nil
+	}
+	parts := strings.Split(val, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if s := strings.TrimSpace(p); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Render serializes a Config back to the file format (used by the
+// exploration tool to emit the chosen configurations).
+func Render(cfg *Config) string {
+	var b strings.Builder
+	b.WriteString("compartments:\n")
+	for _, c := range cfg.Compartments {
+		fmt.Fprintf(&b, "- %s:\n", c.Name)
+		if c.Mechanism != "" {
+			fmt.Fprintf(&b, "    mechanism: %s\n", c.Mechanism)
+		}
+		if c.Default {
+			b.WriteString("    default: true\n")
+		}
+		if len(c.Hardening) > 0 {
+			fmt.Fprintf(&b, "    hardening: [%s]\n", strings.Join(c.Hardening, ", "))
+		}
+	}
+	b.WriteString("libraries:\n")
+	for _, a := range cfg.Libraries {
+		fmt.Fprintf(&b, "- %s: %s\n", a.Library, a.Compartment)
+	}
+	if cfg.Gate != "" {
+		fmt.Fprintf(&b, "gate: %s\n", cfg.Gate)
+	}
+	if cfg.Sharing != "" {
+		fmt.Fprintf(&b, "sharing: %s\n", cfg.Sharing)
+	}
+	return b.String()
+}

@@ -1,0 +1,152 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// paperExample is the configuration file shown verbatim in §3 of the
+// paper (isolating libopenjpg and lwip with CFI and ASan).
+const paperExample = `
+compartments:
+- comp1:
+    mechanism: intel-mpk
+    default: True
+- comp2:
+    mechanism: intel-mpk
+    hardening: [cfi, asan]
+libraries:
+- libredis: comp1
+- libopenjpg: comp2
+- lwip: comp2
+`
+
+func TestParsePaperExample(t *testing.T) {
+	cfg, err := Parse(paperExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Compartments) != 2 {
+		t.Fatalf("compartments = %d, want 2", len(cfg.Compartments))
+	}
+	c1 := cfg.Compartment("comp1")
+	if c1 == nil || !c1.Default || c1.Mechanism != "intel-mpk" {
+		t.Fatalf("comp1 = %+v", c1)
+	}
+	c2 := cfg.Compartment("comp2")
+	if c2 == nil || len(c2.Hardening) != 2 || c2.Hardening[0] != "cfi" || c2.Hardening[1] != "asan" {
+		t.Fatalf("comp2 = %+v", c2)
+	}
+	if len(cfg.Libraries) != 3 {
+		t.Fatalf("libraries = %+v", cfg.Libraries)
+	}
+	if cfg.Libraries[2].Library != "lwip" || cfg.Libraries[2].Compartment != "comp2" {
+		t.Fatalf("lwip assignment = %+v", cfg.Libraries[2])
+	}
+	if cfg.Mechanism() != "intel-mpk" {
+		t.Fatalf("mechanism = %q", cfg.Mechanism())
+	}
+	if cfg.DefaultCompartment().Name != "comp1" {
+		t.Fatal("default compartment wrong")
+	}
+}
+
+func TestParseGateAndSharing(t *testing.T) {
+	cfg, err := Parse(`
+compartments:
+- c1:
+    mechanism: intel-mpk
+libraries:
+- app: c1
+gate: light
+sharing: dss
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Gate != "light" || cfg.Sharing != "dss" {
+		t.Fatalf("gate/sharing = %q/%q", cfg.Gate, cfg.Sharing)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	cfg, err := Parse(`
+# image for the embargo scenario
+compartments:
+- c1:            # default
+    mechanism: vm-ept
+libraries:
+- vuln: c1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Mechanism() != "vm-ept" {
+		t.Fatalf("mechanism = %q", cfg.Mechanism())
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"no compartments", "libraries:\n- a: c1\n"},
+		{"duplicate comp", "compartments:\n- c1:\n- c1:\nlibraries:\n"},
+		{"mixed mechanisms", "compartments:\n- c1:\n    mechanism: intel-mpk\n- c2:\n    mechanism: vm-ept\n"},
+		{"unknown comp ref", "compartments:\n- c1:\nlibraries:\n- app: nope\n"},
+		{"duplicate lib", "compartments:\n- c1:\nlibraries:\n- app: c1\n- app: c1\n"},
+		{"two defaults", "compartments:\n- c1:\n    default: true\n- c2:\n    default: true\n"},
+		{"bad gate", "compartments:\n- c1:\ngate: warp\n"},
+		{"bad sharing", "compartments:\n- c1:\nsharing: telepathy\n"},
+		{"unknown key", "compartments:\n- c1:\n    color: red\n"},
+		{"junk", "compartments:\n- c1:\nwhatever\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.text); err == nil {
+			t.Errorf("%s: accepted invalid config", tc.name)
+		}
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	cfg, err := Parse(paperExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Gate = "full"
+	cfg.Sharing = "dss"
+	text := Render(cfg)
+	cfg2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse of rendered config failed: %v\n%s", err, text)
+	}
+	if len(cfg2.Compartments) != len(cfg.Compartments) || len(cfg2.Libraries) != len(cfg.Libraries) {
+		t.Fatal("round trip lost entries")
+	}
+	if cfg2.Gate != "full" || cfg2.Sharing != "dss" {
+		t.Fatal("round trip lost gate/sharing")
+	}
+	if !strings.Contains(text, "hardening: [cfi, asan]") {
+		t.Fatalf("render lost hardening:\n%s", text)
+	}
+}
+
+func TestHardeningListParsing(t *testing.T) {
+	cfg, err := Parse(`
+compartments:
+- c1:
+    hardening: [cfi]
+- c2:
+    hardening: []
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Compartment("c1").Hardening) != 1 {
+		t.Fatal("single-element list")
+	}
+	if len(cfg.Compartment("c2").Hardening) != 0 {
+		t.Fatal("empty list should parse to nil")
+	}
+}

@@ -1,0 +1,171 @@
+// Package core is FlexOS-Go's primary contribution: an OS image whose
+// compartmentalization and protection profile is decided at build time.
+//
+// It mirrors the paper's pipeline (§3, Fig. 3):
+//
+//  1. Components ("micro-libraries") are written against an abstract
+//     compartmentalization API: cross-library calls go through abstract
+//     gates (Ctx.Call) and shared data is declared with annotations
+//     (SharedVar, the __shared(...) marker).
+//  2. At build time, Builder performs the "source transformations": it
+//     binds every abstract gate to the configured isolation backend's
+//     concrete gate (a plain call when caller and callee share a
+//     compartment — zero overhead), lays out per-compartment sections,
+//     heaps and stacks (the generated linker scripts), instantiates the
+//     data sharing strategy (shared heap, DSS, or shared stacks), and
+//     applies per-compartment software hardening by instrumenting the
+//     compartment's allocator and gates.
+//  3. The resulting Image runs workloads on the simulated machine,
+//     charging the cycle clock for compute, gates and data movement.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SharedVar is a __shared annotation (§3.1): a variable of a component
+// that other libraries may access. With lists the whitelisted peer
+// libraries; an empty list means the global shared domain.
+//
+// The builder allocates annotated variables in the shared communication
+// domain (shared heap) so cross-compartment access does not fault —
+// exactly what the paper's build-time transformation does for MPK.
+type SharedVar struct {
+	Name string
+	Size int
+	With []string
+}
+
+// FuncImpl is the body of a component function. It runs inside the
+// callee's protection domain: memory accesses made through ctx use the
+// thread's switched PKRU. The returned value flows back through the gate.
+type FuncImpl func(ctx *Ctx, args ...any) (any, error)
+
+// Func is one entry in a component's interface.
+type Func struct {
+	// Name is the symbol, unique within the component.
+	Name string
+	// Work is the base compute cost in cycles charged per invocation
+	// (before hardening multipliers). It models the function's own
+	// instruction stream, which the simulation does not execute natively.
+	Work uint64
+	// Impl is the functional body; may be nil for pure-work functions.
+	Impl FuncImpl
+	// EntryPoint marks functions callable from other compartments. Gates
+	// enforce this set (the hardcoded-gates CFI of §3.1/§4.1).
+	EntryPoint bool
+}
+
+// Component is a micro-library in the Unikraft sense: the minimal
+// granularity of isolation (P1). Components declare their functions,
+// their shared-data annotations, and which other libraries they call
+// (the static call graph the gate-insertion analysis of §3.1 derives).
+type Component struct {
+	// Name is the library name used in configuration files ("lwip",
+	// "uksched", "libredis", ...).
+	Name string
+	// TCB marks trusted-computing-base components (boot, memory manager,
+	// scheduler, backend runtime; §3.3). Multi-AS backends duplicate
+	// them per VM.
+	TCB bool
+	// Verified marks formally verified components (§7 "Incremental
+	// Verification": isolating a verified component preserves its proven
+	// properties even when mixed with unverified code; the paper
+	// formally verified a version of its scheduler with Dafny).
+	Verified bool
+	// Funcs is the component's interface.
+	Funcs map[string]*Func
+	// Shared lists the component's __shared annotations. Its length is
+	// the "shared vars" column of Table 1.
+	Shared []SharedVar
+	// Imports are the libraries this component calls — the build-time
+	// call graph used to report gate bindings.
+	Imports []string
+	// PatchAdd/PatchDel record the porting-effort patch size from the
+	// paper's Table 1 (informational; reproduced by the Table 1 harness).
+	PatchAdd, PatchDel int
+}
+
+// NewComponent returns an empty component.
+func NewComponent(name string) *Component {
+	return &Component{Name: name, Funcs: make(map[string]*Func)}
+}
+
+// AddFunc registers a function and returns the component for chaining.
+func (c *Component) AddFunc(f *Func) *Component {
+	if _, dup := c.Funcs[f.Name]; dup {
+		panic(fmt.Sprintf("core: duplicate function %s.%s", c.Name, f.Name))
+	}
+	c.Funcs[f.Name] = f
+	return c
+}
+
+// AddShared records a __shared annotation.
+func (c *Component) AddShared(v SharedVar) *Component {
+	c.Shared = append(c.Shared, v)
+	return c
+}
+
+// Func looks up a function.
+func (c *Component) Func(name string) (*Func, bool) {
+	f, ok := c.Funcs[name]
+	return f, ok
+}
+
+// FuncNames returns the sorted function list (deterministic reports).
+func (c *Component) FuncNames() []string {
+	names := make([]string, 0, len(c.Funcs))
+	for n := range c.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Catalog is the set of available components an image can be built from —
+// the analogue of the Unikraft library pool.
+type Catalog struct {
+	comps map[string]*Component
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{comps: make(map[string]*Component)}
+}
+
+// Register adds a component; duplicate names are an error.
+func (cat *Catalog) Register(c *Component) error {
+	if _, dup := cat.comps[c.Name]; dup {
+		return fmt.Errorf("core: component %q already registered", c.Name)
+	}
+	cat.comps[c.Name] = c
+	return nil
+}
+
+// MustRegister is Register that panics; used by component constructors in
+// app packages where a duplicate is a programming error.
+func (cat *Catalog) MustRegister(c *Component) {
+	if err := cat.Register(c); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the named component.
+func (cat *Catalog) Lookup(name string) (*Component, bool) {
+	c, ok := cat.comps[name]
+	return c, ok
+}
+
+// Names returns all registered component names, sorted.
+func (cat *Catalog) Names() []string {
+	names := make([]string, 0, len(cat.comps))
+	for n := range cat.comps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered components.
+func (cat *Catalog) Len() int { return len(cat.comps) }

@@ -1,0 +1,503 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"flexos/internal/config"
+	"flexos/internal/harden"
+	"flexos/internal/isolation"
+	"flexos/internal/mem"
+)
+
+func parseConfig(text string) (*config.Config, error) { return config.Parse(text) }
+
+// testCatalog builds a miniature system: an "app" that calls a "svc"
+// library, plus a TCB "boot" component.
+func testCatalog(t testing.TB) *Catalog {
+	t.Helper()
+	cat := NewCatalog()
+
+	boot := NewComponent("boot")
+	boot.TCB = true
+	cat.MustRegister(boot)
+
+	svc := NewComponent("svc")
+	svc.PatchAdd, svc.PatchDel = 48, 8
+	svc.AddShared(SharedVar{Name: "state", Size: 64})
+	svc.AddFunc(&Func{
+		Name: "ping", Work: 100, EntryPoint: true,
+		Impl: func(ctx *Ctx, args ...any) (any, error) {
+			if len(args) == 1 {
+				return args[0], nil
+			}
+			return "pong", nil
+		},
+	})
+	svc.AddFunc(&Func{Name: "internal", Work: 10})
+	cat.MustRegister(svc)
+
+	app := NewComponent("app")
+	app.Imports = []string{"svc"}
+	app.AddFunc(&Func{
+		Name: "main", Work: 200, EntryPoint: true,
+		Impl: func(ctx *Ctx, args ...any) (any, error) {
+			return ctx.Call("svc", "ping")
+		},
+	})
+	cat.MustRegister(app)
+	return cat
+}
+
+func twoCompSpec(mech string, gm isolation.GateMode, sh isolation.Sharing) ImageSpec {
+	return ImageSpec{
+		Mechanism: mech,
+		GateMode:  gm,
+		Sharing:   sh,
+		Comps: []CompSpec{
+			{Name: "comp0", Libs: []string{"boot", "app"}},
+			{Name: "comp1", Libs: []string{"svc"}},
+		},
+	}
+}
+
+func build(t testing.TB, spec ImageSpec) *Image {
+	t.Helper()
+	img, err := Build(testCatalog(t), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestBuildValidation(t *testing.T) {
+	cat := testCatalog(t)
+	if _, err := Build(cat, ImageSpec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	bad := twoCompSpec("mpk", 0, 0)
+	bad.Comps[1].Libs = []string{"nonexistent"}
+	if _, err := Build(cat, bad); err == nil {
+		t.Fatal("unknown library accepted")
+	}
+	dup := twoCompSpec("mpk", 0, 0)
+	dup.Comps[1].Libs = []string{"app"}
+	if _, err := Build(cat, dup); err == nil {
+		t.Fatal("library in two compartments accepted")
+	}
+	if _, err := Build(cat, ImageSpec{Mechanism: "trustzone", Comps: []CompSpec{{Name: "c", Libs: nil}}}); err == nil {
+		t.Fatal("unknown mechanism accepted")
+	}
+}
+
+func TestSameCompartmentCallIsZeroOverhead(t *testing.T) {
+	// P4 / Fig. 3 step 3': same-compartment gates degenerate to plain
+	// calls; a 1-compartment MPK image must cost the same as NONE.
+	one := ImageSpec{Mechanism: "intel-mpk", Comps: []CompSpec{
+		{Name: "c0", Libs: []string{"boot", "app", "svc"}},
+	}}
+	imgMPK := build(t, one)
+	ctx, err := imgMPK.NewContext("t", "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpkCost := imgMPK.Mach.Clock.Span(func() {
+		if _, err := ctx.Call("app", "main"); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	imgNone := build(t, ImageSpec{Mechanism: "none", Comps: []CompSpec{
+		{Name: "c0", Libs: []string{"boot", "app", "svc"}},
+	}})
+	ctxN, _ := imgNone.NewContext("t", "app")
+	noneCost := imgNone.Mach.Clock.Span(func() {
+		if _, err := ctxN.Call("app", "main"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if mpkCost != noneCost {
+		t.Fatalf("1-comp MPK cost %d != NONE cost %d; flexibility must be free", mpkCost, noneCost)
+	}
+	if imgMPK.Crossings() != 0 {
+		t.Fatal("same-compartment calls must not count as crossings")
+	}
+}
+
+func TestCrossCompartmentCallCostsGate(t *testing.T) {
+	img := build(t, twoCompSpec("intel-mpk", isolation.GateFull, isolation.ShareDSS))
+	ctx, err := img.NewContext("t", "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := img.Mach.Clock.Span(func() {
+		out, err := ctx.Call("app", "main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != "pong" {
+			t.Fatalf("call returned %v", out)
+		}
+	})
+	// main work (200) + gate (108) + ping work (100) + small frame costs.
+	if total < 408 {
+		t.Fatalf("cross-compartment call cost %d, want >= 408", total)
+	}
+	if img.Crossings() != 1 {
+		t.Fatalf("crossings = %d, want 1", img.Crossings())
+	}
+}
+
+func TestHardeningMultipliesCalleeWork(t *testing.T) {
+	plain := build(t, twoCompSpec("none", 0, 0))
+	ctxP, _ := plain.NewContext("t", "app")
+	base := plain.Mach.Clock.Span(func() { ctxP.Call("svc", "ping") })
+
+	spec := twoCompSpec("none", 0, 0)
+	spec.Comps[1].Hardening = harden.NewSet(harden.All)
+	hard := build(t, spec)
+	ctxH, _ := hard.NewContext("t", "app")
+	hardened := hard.Mach.Clock.Span(func() { ctxH.Call("svc", "ping") })
+
+	if hardened <= base {
+		t.Fatalf("hardened call (%d) not slower than plain (%d)", hardened, base)
+	}
+	// Roughly the ~2x multiplier on the work portion.
+	if float64(hardened) < 1.5*float64(base) {
+		t.Fatalf("hardening effect too small: %d vs %d", hardened, base)
+	}
+}
+
+func TestReturnValueAndArgs(t *testing.T) {
+	img := build(t, twoCompSpec("intel-mpk", 0, 0))
+	ctx, _ := img.NewContext("t", "app")
+	out, err := ctx.Call("svc", "ping", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != 42 {
+		t.Fatalf("gate did not marshal return value: %v", out)
+	}
+}
+
+func TestCallUnknownTargets(t *testing.T) {
+	img := build(t, twoCompSpec("intel-mpk", 0, 0))
+	ctx, _ := img.NewContext("t", "app")
+	if _, err := ctx.Call("nolib", "f"); err == nil {
+		t.Fatal("unknown library accepted")
+	}
+	if _, err := ctx.Call("svc", "nofunc"); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+}
+
+func TestNonEntryPointRejectedAcrossCompartments(t *testing.T) {
+	img := build(t, twoCompSpec("intel-mpk", 0, 0))
+	ctx, _ := img.NewContext("t", "app")
+	_, err := ctx.Call("svc", "internal")
+	if !mem.IsFault(err, mem.FaultCFI) {
+		t.Fatalf("cross-compartment call to non-entry: got %v, want CFI fault", err)
+	}
+	// But legal from within the same compartment.
+	spec := ImageSpec{Mechanism: "intel-mpk", Comps: []CompSpec{
+		{Name: "c0", Libs: []string{"boot", "app", "svc"}},
+	}}
+	img2 := build(t, spec)
+	ctx2, _ := img2.NewContext("t", "app")
+	if _, err := ctx2.Call("svc", "internal"); err != nil {
+		t.Fatalf("intra-compartment internal call failed: %v", err)
+	}
+}
+
+func TestPrivateHeapIsolation(t *testing.T) {
+	img := build(t, twoCompSpec("intel-mpk", 0, 0))
+	ctx, _ := img.NewContext("t", "app")
+
+	// Allocate private data inside svc's compartment via a gate...
+	addrAny, err := ctx.Call("svc", "ping", nil)
+	_ = addrAny
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcComp, _ := img.Comp("svc")
+	privAddr, err := svcComp.Heap.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ... the app thread (in comp0) cannot touch it directly.
+	err = ctx.Read(privAddr, make([]byte, 8))
+	if !mem.IsFault(err, mem.FaultKeyViolation) {
+		t.Fatalf("private heap read from foreign compartment: got %v, want key violation", err)
+	}
+	// Shared heap is reachable from both sides.
+	sh, err := ctx.AllocShared(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Write(sh, []byte("hello")); err != nil {
+		t.Fatalf("shared heap write failed: %v", err)
+	}
+	if err := ctx.FreeShared(sh); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedAnnotationsPlacedInSharedDomain(t *testing.T) {
+	img := build(t, twoCompSpec("intel-mpk", 0, 0))
+	addr, ok := img.SharedVarAddr("svc", "state")
+	if !ok {
+		t.Fatal("shared var not placed")
+	}
+	if img.AS.KeyAt(addr) != mem.KeyShared {
+		t.Fatalf("shared var key = %d, want shared", img.AS.KeyAt(addr))
+	}
+	ctx, _ := img.NewContext("t", "app")
+	// Both compartments can write it.
+	if err := ctx.Write(addr, []byte("x")); err != nil {
+		t.Fatalf("app write to __shared var: %v", err)
+	}
+	if _, err := ctx.Call("svc", "ping"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDSSStackLayoutAndSharing(t *testing.T) {
+	img := build(t, twoCompSpec("intel-mpk", isolation.GateFull, isolation.ShareDSS))
+	ctx, _ := img.NewContext("t", "app")
+
+	priv, err := ctx.StackAlloc(8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appComp, _ := img.Comp("app")
+	if img.AS.KeyAt(priv) != appComp.Key {
+		t.Fatalf("private local key = %d, want compartment key %d", img.AS.KeyAt(priv), appComp.Key)
+	}
+
+	shadow, err := ctx.StackAlloc(8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.AS.KeyAt(shadow) != mem.KeyShared {
+		t.Fatalf("DSS shadow key = %d, want shared", img.AS.KeyAt(shadow))
+	}
+	// The shadow is addressable from the other compartment too.
+	if err := ctx.WriteUint64(shadow, 7); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ctx.Call("svc", "ping", shadow)
+	if err != nil || out != shadow {
+		t.Fatalf("passing DSS pointer across: %v %v", out, err)
+	}
+	if img.DSSBytes() == 0 {
+		t.Fatal("DSS bytes not accounted")
+	}
+}
+
+func TestShareHeapConversionFreesOnReturn(t *testing.T) {
+	cat := testCatalog(t)
+	svcComp, _ := cat.Lookup("svc")
+	var localAddr uintptr
+	svcComp.AddFunc(&Func{
+		Name: "with_local", Work: 10, EntryPoint: true,
+		Impl: func(ctx *Ctx, args ...any) (any, error) {
+			a, err := ctx.StackAlloc(16, true)
+			localAddr = a
+			return nil, err
+		},
+	})
+	img, err := Build(cat, twoCompSpec("intel-mpk", isolation.GateFull, isolation.ShareHeap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := img.NewContext("t", "app")
+	if _, err := ctx.Call("svc", "with_local"); err != nil {
+		t.Fatal(err)
+	}
+	if localAddr == 0 {
+		t.Fatal("no heap-converted local allocated")
+	}
+	// The conversion must have been freed on return: allocating again
+	// reuses the block.
+	again, err := img.SharedHeap().Alloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != localAddr {
+		t.Fatalf("heap-converted local leaked: got %#x, want reuse of %#x", again, localAddr)
+	}
+}
+
+func TestStackProtectorAppliedPerCompartment(t *testing.T) {
+	spec := twoCompSpec("intel-mpk", isolation.GateFull, isolation.ShareDSS)
+	spec.Comps[1].Hardening = harden.NewSet(harden.StackProtector)
+	img := build(t, spec)
+	ctx, _ := img.NewContext("t", "app")
+	if _, err := ctx.Call("svc", "ping"); err != nil {
+		t.Fatalf("hardened call failed: %v", err)
+	}
+}
+
+func TestKASanCompartmentAllocator(t *testing.T) {
+	spec := twoCompSpec("intel-mpk", 0, 0)
+	spec.Comps[1].Hardening = harden.NewSet(harden.KASan)
+	img := build(t, spec)
+	svcComp, _ := img.Comp("svc")
+	if !strings.HasPrefix(svcComp.Heap.Name(), "kasan+") {
+		t.Fatalf("kasan compartment allocator = %q", svcComp.Heap.Name())
+	}
+	appComp, _ := img.Comp("app")
+	if strings.HasPrefix(appComp.Heap.Name(), "kasan+") {
+		t.Fatal("unhardened compartment must keep its plain allocator")
+	}
+	// Functional: OOB write in the hardened compartment faults.
+	p, err := svcComp.Heap.Alloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = img.AS.Write(mem.PKRUAllowAll, p+16, make([]byte, 8))
+	if !mem.IsFault(err, mem.FaultKASanRedzone) {
+		t.Fatalf("kasan OOB: got %v", err)
+	}
+}
+
+func TestEPTImageTCBDuplication(t *testing.T) {
+	img := build(t, twoCompSpec("vm-ept", 0, 0))
+	r := img.Report()
+	if r.Backend.VMs != 2 || r.Backend.TCBCopies != 2 {
+		t.Fatalf("EPT report = %+v", r.Backend)
+	}
+	ctx, err := img.NewContext("t", "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ctx.Call("svc", "ping")
+	if err != nil || out != "pong" {
+		t.Fatalf("EPT RPC call: %v %v", out, err)
+	}
+}
+
+func TestReportContents(t *testing.T) {
+	spec := twoCompSpec("intel-mpk", isolation.GateFull, isolation.ShareDSS)
+	spec.Comps[1].Hardening = harden.NewSet(harden.CFI, harden.KASan)
+	img := build(t, spec)
+	r := img.Report()
+	if r.Mechanism != "intel-mpk" || r.Sharing != "dss" {
+		t.Fatalf("report header = %+v", r)
+	}
+	if len(r.Comps) != 2 || len(r.Gates) != 2 {
+		t.Fatalf("report comps/gates = %d/%d", len(r.Comps), len(r.Gates))
+	}
+	if r.Gates[0].Cost != 108 {
+		t.Fatalf("gate binding cost = %d, want 108", r.Gates[0].Cost)
+	}
+	if len(r.TCBLibs) != 1 || r.TCBLibs[0] != "boot" {
+		t.Fatalf("TCB libs = %v", r.TCBLibs)
+	}
+	if len(r.Shared) != 1 || r.Shared[0].Lib != "svc" {
+		t.Fatalf("shared vars = %+v", r.Shared)
+	}
+	text := r.String()
+	for _, want := range []string{"intel-mpk", "comp0", "comp1", "mpk/full", "boot"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTableOne(t *testing.T) {
+	rows := TableOne(testCatalog(t))
+	if len(rows) != 1 || rows[0].Lib != "svc" || rows[0].SharedVars != 1 || rows[0].PatchAdd != 48 {
+		t.Fatalf("TableOne = %+v", rows)
+	}
+}
+
+func TestSpecFromConfigEndToEnd(t *testing.T) {
+	cfgText := `
+compartments:
+- comp1:
+    mechanism: intel-mpk
+    default: true
+- comp2:
+    mechanism: intel-mpk
+    hardening: [cfi, asan]
+libraries:
+- svc: comp2
+gate: full
+sharing: dss
+`
+	cfg, err := parseConfig(cfgText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := testCatalog(t)
+	spec, err := SpecFromConfig(cfg, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Mechanism != "intel-mpk" || spec.GateMode != isolation.GateFull {
+		t.Fatalf("spec = %+v", spec)
+	}
+	// Unassigned libs (app, boot) land in the default compartment.
+	if len(spec.Comps) != 2 {
+		t.Fatalf("comps = %+v", spec.Comps)
+	}
+	if got := len(spec.Comps[0].Libs); got != 2 {
+		t.Fatalf("default compartment has %d libs, want 2 (app, boot)", got)
+	}
+	if !spec.Comps[1].Hardening.Has(harden.CFI) || !spec.Comps[1].Hardening.Has(harden.KASan) {
+		t.Fatal("hardening lost in conversion")
+	}
+	img, err := Build(cat, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := img.NewContext("t", "app")
+	if out, err := ctx.Call("app", "main"); err != nil || out != "pong" {
+		t.Fatalf("end-to-end call: %v %v", out, err)
+	}
+}
+
+func TestUBSanHelperThroughCtx(t *testing.T) {
+	spec := twoCompSpec("none", 0, 0)
+	spec.Comps[1].Hardening = harden.NewSet(harden.UBSan)
+	img := build(t, spec)
+	cat := img.Catalog
+	svcComp, _ := cat.Lookup("svc")
+	_ = svcComp
+	ctx, _ := img.NewContext("t", "app")
+	_ = ctx
+	c1, _ := img.CompByName("comp1")
+	if _, err := c1.Hardening.CheckedAdd(1<<62, 1<<62); err == nil {
+		t.Fatal("ubsan helper did not trap")
+	}
+}
+
+func TestVerifiedComponentTracking(t *testing.T) {
+	// §7 "Incremental Verification": a verified component isolated in
+	// its own compartment keeps its proven properties; colocated with
+	// unverified code it does not.
+	cat := testCatalog(t)
+	svcComp, _ := cat.Lookup("svc")
+	svcComp.Verified = true
+
+	colocated, err := Build(cat, ImageSpec{Mechanism: "intel-mpk", Comps: []CompSpec{
+		{Name: "c0", Libs: []string{"boot", "app", "svc"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := colocated.Report()
+	if len(r.VerifiedLibs) != 1 || r.VerifiedLibs[0].Isolated {
+		t.Fatalf("colocated verified report = %+v, want not isolated", r.VerifiedLibs)
+	}
+
+	isolated, err := Build(cat, twoCompSpec("intel-mpk", 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = isolated.Report()
+	if len(r.VerifiedLibs) != 1 || !r.VerifiedLibs[0].Isolated {
+		t.Fatalf("isolated verified report = %+v, want isolated", r.VerifiedLibs)
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+
+	"flexos/internal/harden"
+	"flexos/internal/isolation"
+	"flexos/internal/machine"
+	"flexos/internal/sched"
+)
+
+// Ctx is the execution context handed to component functions: it tracks
+// the running thread, the compartment currently executing, and provides
+// the abstract compartmentalization API — Call (abstract gates), memory
+// accessors checked under the thread's protection domain, stack locals
+// with the configured sharing strategy, and per-compartment heaps.
+type Ctx struct {
+	img    *Image
+	th     *sched.Thread
+	cur    *CompRT
+	curLib string
+
+	// heapLocals tracks stack-to-heap-converted shared locals per open
+	// frame, freed on frame pop (the costly strategy DSS replaces).
+	heapLocals [][]uintptr
+}
+
+// NewContext spawns a thread whose entry point lives in the compartment
+// owning startLib, allocates its per-compartment stacks (the stack
+// registry), and returns the context.
+func (img *Image) NewContext(name, startLib string) (*Ctx, error) {
+	comp, ok := img.byLib[startLib]
+	if !ok {
+		return nil, fmt.Errorf("core: no library %q in image", startLib)
+	}
+	th := img.Sched.Spawn(name, comp.ID)
+	// One call stack per thread per compartment (§4.1).
+	for _, c := range img.comps {
+		st, err := img.allocStackRegion(c)
+		if err != nil {
+			return nil, err
+		}
+		th.SetStack(c.ID, st)
+		if err := st.PushFrame(c.PKRU(), false); err != nil {
+			return nil, err
+		}
+	}
+	ctx := &Ctx{img: img, th: th, cur: comp, curLib: startLib}
+	ctx.heapLocals = append(ctx.heapLocals, nil)
+	return ctx, nil
+}
+
+// Image returns the image this context runs on.
+func (c *Ctx) Image() *Image { return c.img }
+
+// Machine returns the simulated machine (clock + costs).
+func (c *Ctx) Machine() *machine.Machine { return c.img.Mach }
+
+// Thread returns the underlying thread.
+func (c *Ctx) Thread() *sched.Thread { return c.th }
+
+// CurrentLib returns the library currently executing.
+func (c *Ctx) CurrentLib() string { return c.curLib }
+
+// CurrentComp returns the compartment currently executing.
+func (c *Ctx) CurrentComp() *CompRT { return c.cur }
+
+// cfiCheckCycles is the forward-edge check cost charged per entry into
+// CFI-instrumented code.
+const cfiCheckCycles = 4
+
+// Hardening returns the hardening in force for the currently executing
+// library; component code uses it for instrumented arithmetic (UBSan
+// helpers).
+func (c *Ctx) Hardening() harden.Set { return c.cur.EffectiveHardening(c.curLib) }
+
+// Call invokes lib.fn through the abstract gate bound at build time. When
+// caller and callee share a compartment this is a plain function call;
+// otherwise the configured backend's gate performs the domain transition.
+// Work cycles are charged under the callee compartment's hardening
+// multiplier.
+func (c *Ctx) Call(lib, fn string, args ...any) (any, error) {
+	target, ok := c.img.byLib[lib]
+	if !ok {
+		return nil, fmt.Errorf("core: call into unknown library %q", lib)
+	}
+	comp, _ := c.img.Catalog.Lookup(lib)
+	f, ok := comp.Func(fn)
+	if !ok {
+		return nil, fmt.Errorf("core: library %q has no function %q", lib, fn)
+	}
+	gate := c.img.gate(c.cur.ID, target.ID)
+	if gate == nil {
+		return nil, fmt.Errorf("core: no gate bound %s -> %s", c.cur.Name, target.Name)
+	}
+
+	effective := target.EffectiveHardening(lib)
+	if effective.Has(harden.CFI) {
+		// Forward-edge check on entry into CFI-instrumented code.
+		c.img.Mach.Charge(cfiCheckCycles)
+	}
+
+	var ret any
+	entry := lib + "." + fn
+	err := gate.Call(c.th, entry, func() error {
+		prevComp, prevLib := c.cur, c.curLib
+		c.cur, c.curLib = target, lib
+
+		// Open a frame on the callee stack; the stack protector adds a
+		// canary when the callee library hardens with it.
+		st := c.th.Stack(target.ID)
+		canary := effective.Has(harden.StackProtector)
+		if st != nil {
+			if err := st.PushFrame(c.th.PKRU, canary); err != nil {
+				return err
+			}
+		}
+		c.heapLocals = append(c.heapLocals, nil)
+
+		// Charge the function's compute under the callee's hardening.
+		work := uint64(float64(f.Work) * effective.WorkMultiplier())
+		c.img.Mach.Charge(work)
+
+		var err error
+		if f.Impl != nil {
+			ret, err = f.Impl(c, args...)
+		}
+
+		// Close the frame: free heap-converted locals, verify canary.
+		locals := c.heapLocals[len(c.heapLocals)-1]
+		c.heapLocals = c.heapLocals[:len(c.heapLocals)-1]
+		for _, addr := range locals {
+			if ferr := c.img.sharedHeap.Free(addr); ferr != nil && err == nil {
+				err = ferr
+			}
+		}
+		if st != nil {
+			if perr := st.PopFrame(c.th.PKRU); perr != nil && err == nil {
+				err = perr
+			}
+		}
+		c.cur, c.curLib = prevComp, prevLib
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ret, nil
+}
+
+// StackAlloc allocates a local variable in the current frame. Shared
+// locals follow the image's data sharing strategy:
+//
+//   - ShareDSS: a constant-cost shadow slot on the Data Shadow Stack;
+//   - ShareStack: a plain slot (the whole stack is in the shared domain);
+//   - ShareHeap: a stack-to-heap conversion — an allocation on the shared
+//     heap, freed automatically when the enclosing call returns (this is
+//     the 100-300+ cycle path of Fig. 11a).
+func (c *Ctx) StackAlloc(n int, shared bool) (uintptr, error) {
+	st := c.th.Stack(c.cur.ID)
+	if st == nil {
+		return 0, fmt.Errorf("core: thread has no stack in compartment %s", c.cur.Name)
+	}
+	if !shared {
+		return st.AllocLocal(n, false)
+	}
+	switch c.img.Spec.Sharing {
+	case isolation.ShareDSS:
+		return st.AllocLocal(n, true)
+	case isolation.ShareStack:
+		return st.AllocLocal(n, false)
+	default: // ShareHeap
+		addr, err := c.img.sharedHeap.Alloc(n)
+		if err != nil {
+			return 0, err
+		}
+		c.heapLocals[len(c.heapLocals)-1] = append(c.heapLocals[len(c.heapLocals)-1], addr)
+		return addr, nil
+	}
+}
+
+// AllocPrivate allocates from the current compartment's private heap.
+func (c *Ctx) AllocPrivate(n int) (uintptr, error) { return c.cur.Heap.Alloc(n) }
+
+// FreePrivate returns a private-heap block.
+func (c *Ctx) FreePrivate(addr uintptr) error { return c.cur.Heap.Free(addr) }
+
+// AllocShared allocates from the shared communication heap.
+func (c *Ctx) AllocShared(n int) (uintptr, error) { return c.img.sharedHeap.Alloc(n) }
+
+// FreeShared returns a shared-heap block.
+func (c *Ctx) FreeShared(addr uintptr) error { return c.img.sharedHeap.Free(addr) }
+
+// Read performs a checked load under the thread's current protection
+// domain.
+func (c *Ctx) Read(addr uintptr, buf []byte) error {
+	return c.img.AS.Read(c.th.PKRU, addr, buf)
+}
+
+// Write performs a checked store under the thread's current protection
+// domain.
+func (c *Ctx) Write(addr uintptr, data []byte) error {
+	return c.img.AS.Write(c.th.PKRU, addr, data)
+}
+
+// Memmove performs a checked intra-image copy.
+func (c *Ctx) Memmove(dst, src uintptr, n int) error {
+	return c.img.AS.Memmove(c.th.PKRU, dst, src, n)
+}
+
+// ReadUint64 / WriteUint64 are checked 8-byte accessors.
+func (c *Ctx) ReadUint64(addr uintptr) (uint64, error) {
+	return c.img.AS.ReadUint64(c.th.PKRU, addr)
+}
+
+// WriteUint64 stores an 8-byte value under the current domain.
+func (c *Ctx) WriteUint64(addr uintptr, v uint64) error {
+	return c.img.AS.WriteUint64(c.th.PKRU, addr, v)
+}
+
+// SharedVarAddr resolves a __shared annotation to its shared-domain
+// address.
+func (c *Ctx) SharedVarAddr(lib, name string) (uintptr, bool) {
+	return c.img.SharedVarAddr(lib, name)
+}
+
+// Yield cooperatively yields the CPU.
+func (c *Ctx) Yield() { c.img.Sched.Yield() }
+
+// Charge adds raw compute cycles under the current compartment's
+// hardening multiplier; component bodies use it for data-dependent work
+// (e.g. per-byte parsing loops).
+func (c *Ctx) Charge(cycles uint64) {
+	c.img.Mach.Charge(uint64(float64(cycles) * c.cur.Hardening.WorkMultiplier()))
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flexos/internal/sched"
+)
+
+// CrossEvent records one cross-compartment gate transition. The paper
+// emphasizes that FlexOS' build-time approach keeps the system easy to
+// debug ("transformations can be visually inspected ... GDB and all
+// usual debugging toolchains are supported", §3/§4.4); the tracer is this
+// repository's equivalent: it makes every domain crossing observable
+// with its entry point and cost.
+type CrossEvent struct {
+	// From and To are compartment names.
+	From, To string
+	// Entry is the gate entry symbol ("lwip.recv").
+	Entry string
+	// StartCycle is the simulated time the crossing began.
+	StartCycle uint64
+	// Cycles is the round-trip cost charged by the gate (excluding the
+	// callee's own work).
+	Cycles uint64
+}
+
+// Trace accumulates crossing events for one image.
+type Trace struct {
+	img    *Image
+	Events []CrossEvent
+	// Cap bounds the number of retained events (0 = unlimited); the
+	// counter keeps counting past it.
+	Cap   int
+	total uint64
+}
+
+// EnableTrace switches crossing tracing on and returns the trace. It is
+// idempotent: repeated calls return the same trace.
+func (img *Image) EnableTrace(cap int) *Trace {
+	if img.trace == nil {
+		img.trace = &Trace{img: img, Cap: cap}
+	}
+	return img.trace
+}
+
+// record is called by boundGate on cross-compartment transitions.
+func (tr *Trace) record(from, to sched.CompID, entry string, start, cycles uint64) {
+	tr.total++
+	if tr.Cap > 0 && len(tr.Events) >= tr.Cap {
+		return
+	}
+	tr.Events = append(tr.Events, CrossEvent{
+		From:       tr.img.comps[from].Name,
+		To:         tr.img.comps[to].Name,
+		Entry:      entry,
+		StartCycle: start,
+		Cycles:     cycles,
+	})
+}
+
+// Total returns the number of crossings observed (including those beyond
+// Cap).
+func (tr *Trace) Total() uint64 { return tr.total }
+
+// EdgeProfile aggregates crossings per (from, to, entry) edge — the
+// communication profile that explains Figure 6's per-component isolation
+// costs.
+func (tr *Trace) EdgeProfile() map[string]uint64 {
+	prof := make(map[string]uint64)
+	for _, e := range tr.Events {
+		prof[e.From+" -> "+e.Entry]++
+	}
+	return prof
+}
+
+// String renders the profile sorted by frequency.
+func (tr *Trace) String() string {
+	prof := tr.EdgeProfile()
+	type row struct {
+		edge string
+		n    uint64
+	}
+	rows := make([]row, 0, len(prof))
+	for e, n := range prof {
+		rows = append(rows, row{e, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].edge < rows[j].edge
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "crossing profile (%d total):\n", tr.total)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d  %s\n", r.n, r.edge)
+	}
+	return b.String()
+}

@@ -1,0 +1,209 @@
+// Package explore implements FlexOS' semi-automated design-space
+// exploration (§5, §6.2): it generates configuration spaces (notably the
+// paper's 80-configuration Redis/Nginx space — 5 compartmentalization
+// strategies × 16 per-component hardening combinations), orders them into
+// the partial safety poset, measures their performance (the Wayfinder
+// role), prunes measurement monotonically along safety paths, and
+// extracts the safest configurations under a performance budget (the
+// stars of Figure 8).
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flexos/internal/core"
+	"flexos/internal/harden"
+	"flexos/internal/isolation"
+	"flexos/internal/poset"
+)
+
+// Config is one point of the safety design space — a node of the poset.
+type Config struct {
+	// ID indexes the config within its generated space.
+	ID int
+	// Blocks is the compartmentalization strategy: Blocks[0] is the
+	// default compartment (which also hosts the TCB); each further block
+	// is its own compartment.
+	Blocks [][]string
+	// Hardening maps component name to its hardening set (Figure 6's
+	// per-component toggles).
+	Hardening map[string]harden.Set
+	// Mechanism, GateMode and Sharing select the backend configuration.
+	Mechanism string
+	GateMode  isolation.GateMode
+	Sharing   isolation.Sharing
+}
+
+// NumCompartments returns the number of compartments.
+func (c *Config) NumCompartments() int { return len(c.Blocks) }
+
+// blockOf returns the block index of a component, or -1.
+func (c *Config) blockOf(comp string) int {
+	for i, blk := range c.Blocks {
+		for _, x := range blk {
+			if x == comp {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Components returns all components of the config, sorted.
+func (c *Config) Components() []string {
+	var out []string
+	for _, blk := range c.Blocks {
+		out = append(out, blk...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HardenedCount returns how many components have non-empty hardening.
+func (c *Config) HardenedCount() int {
+	n := 0
+	for _, comp := range c.Components() {
+		if !c.Hardening[comp].Empty() {
+			n++
+		}
+	}
+	return n
+}
+
+// Label renders a compact description, e.g.
+// "redis+newlib/lwip h={lwip}".
+func (c *Config) Label() string {
+	var blocks []string
+	for _, blk := range c.Blocks {
+		blocks = append(blocks, strings.Join(blk, "+"))
+	}
+	var hardened []string
+	for _, comp := range c.Components() {
+		if !c.Hardening[comp].Empty() {
+			hardened = append(hardened, comp)
+		}
+	}
+	s := strings.Join(blocks, " / ")
+	if len(hardened) > 0 {
+		s += " h={" + strings.Join(hardened, ",") + "}"
+	}
+	return s
+}
+
+// Spec materializes the config into a buildable image spec; tcbLibs
+// (boot, memory manager) join the default compartment.
+func (c *Config) Spec(tcbLibs []string) core.ImageSpec {
+	spec := core.ImageSpec{
+		Mechanism: c.Mechanism,
+		GateMode:  c.GateMode,
+		Sharing:   c.Sharing,
+	}
+	for i, blk := range c.Blocks {
+		cs := core.CompSpec{Name: fmt.Sprintf("comp%d", i)}
+		if i == 0 {
+			cs.Libs = append(cs.Libs, tcbLibs...)
+		}
+		cs.Libs = append(cs.Libs, blk...)
+		cs.LibHardening = make(map[string]harden.Set)
+		for _, comp := range blk {
+			if hs := c.Hardening[comp]; !hs.Empty() {
+				cs.LibHardening[comp] = hs
+			}
+		}
+		spec.Comps = append(spec.Comps, cs)
+	}
+	return spec
+}
+
+// strength ranks the isolation mechanism.
+func (c *Config) strength() isolation.Strength {
+	switch c.Mechanism {
+	case "intel-mpk", "mpk", "cheri":
+		return isolation.StrengthIntraAS
+	case "vm-ept", "ept", "intel-sgx", "sgx":
+		return isolation.StrengthInterAS
+	default:
+		return isolation.StrengthNone
+	}
+}
+
+// sharingRank ranks the data sharing strategy's isolation: a fully
+// shared stack is weaker than DSS or stack-to-heap conversion (which
+// share only the annotated variables).
+func (c *Config) sharingRank() int {
+	if c.NumCompartments() == 1 {
+		return 1 // no cross-compartment stack data at all
+	}
+	if c.Sharing == isolation.ShareStack {
+		return 0
+	}
+	return 1
+}
+
+// gateRank ranks the gate flavor: the light gate shares registers and
+// stacks, the full gate isolates both.
+func (c *Config) gateRank() int {
+	if c.NumCompartments() == 1 {
+		return 1
+	}
+	if c.GateMode == isolation.GateLight {
+		return 0
+	}
+	return 1
+}
+
+// Leq reports whether a is probabilistically at most as safe as b — the
+// partial order of §5, built from the paper's four monotonicity
+// assumptions: safety increases with (1) the number of compartments
+// (partition refinement), (2) data isolation, (3) stackable software
+// hardening, and (4) the strength of the isolation mechanism.
+func Leq(a, b *Config) bool {
+	// (4) mechanism strength.
+	if a.strength() > b.strength() {
+		return false
+	}
+	// (1) b's partition must refine a's: components together in b are
+	// together in a.
+	comps := a.Components()
+	if !sameComponents(comps, b.Components()) {
+		return false
+	}
+	for i := 0; i < len(comps); i++ {
+		for j := i + 1; j < len(comps); j++ {
+			if b.blockOf(comps[i]) == b.blockOf(comps[j]) &&
+				a.blockOf(comps[i]) != a.blockOf(comps[j]) {
+				return false
+			}
+		}
+	}
+	// (3) per-component hardening must not shrink.
+	for _, comp := range comps {
+		if !a.Hardening[comp].Subset(b.Hardening[comp]) {
+			return false
+		}
+	}
+	// (2) data isolation (sharing strategy, gate flavor).
+	if a.sharingRank() > b.sharingRank() || a.gateRank() > b.gateRank() {
+		return false
+	}
+	return true
+}
+
+func sameComponents(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Poset builds the safety poset over a configuration space.
+func Poset(cfgs []*Config) *poset.Poset[*Config] {
+	return poset.New(cfgs, Leq)
+}

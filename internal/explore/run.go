@@ -1,0 +1,159 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"flexos/internal/poset"
+)
+
+// Measure benchmarks one configuration and returns its performance
+// metric (higher is better: requests/s, Gb/s, 1/latency — any metric
+// "comparable across configurations and runs", §5).
+type Measure func(*Config) (float64, error)
+
+// Measurement is one labeled poset node.
+type Measurement struct {
+	Config *Config
+	// Perf is the measured performance (0 when pruned).
+	Perf float64
+	// Evaluated is false when monotonic pruning skipped the run.
+	Evaluated bool
+	// Pruned is true when a less-safe ancestor already missed the
+	// budget, so this config could not meet it either.
+	Pruned bool
+}
+
+// Result is a full exploration outcome.
+type Result struct {
+	// Measurements holds one entry per configuration, in input order.
+	Measurements []Measurement
+	// Safest are the indices of the safest configurations meeting the
+	// budget — the maximal elements of the budget-filtered poset (the
+	// stars of Figure 8).
+	Safest []int
+	// Evaluated counts actually-run benchmarks; Total is the space
+	// size. Their ratio quantifies the §5 claim that pruning
+	// "significantly limits combinatorial explosion".
+	Evaluated, Total int
+	// Budget echoes the performance floor used.
+	Budget float64
+
+	poset *poset.Poset[*Config]
+}
+
+// Poset returns the safety poset underlying the result.
+func (r *Result) Poset() *poset.Poset[*Config] { return r.poset }
+
+// Run explores a configuration space: it builds the safety poset, walks
+// it from the least-safe configurations upward, measures each
+// configuration with measure, and — when prune is true — skips any
+// configuration one of whose strictly-less-safe ancestors already fell
+// below the budget (sound under the §5 assumption that performance
+// decreases monotonically with safety).
+func Run(cfgs []*Config, measure Measure, budget float64, prune bool) (*Result, error) {
+	p := Poset(cfgs)
+	res := &Result{
+		Measurements: make([]Measurement, len(cfgs)),
+		Total:        len(cfgs),
+		Budget:       budget,
+		poset:        p,
+	}
+	for i, c := range cfgs {
+		res.Measurements[i].Config = c
+	}
+
+	// Predecessor lists from the covering relation.
+	preds := make([][]int, len(cfgs))
+	for _, e := range p.Edges() {
+		preds[e[1]] = append(preds[e[1]], e[0])
+	}
+
+	belowBudget := make([]bool, len(cfgs))
+	for _, i := range p.TopoOrder() {
+		if prune {
+			skip := false
+			for _, pr := range preds[i] {
+				if belowBudget[pr] {
+					skip = true
+					break
+				}
+			}
+			if skip {
+				res.Measurements[i].Pruned = true
+				belowBudget[i] = true // propagate
+				continue
+			}
+		}
+		perf, err := measure(cfgs[i])
+		if err != nil {
+			return nil, fmt.Errorf("explore: measuring config %d (%s): %w", cfgs[i].ID, cfgs[i].Label(), err)
+		}
+		res.Measurements[i].Perf = perf
+		res.Measurements[i].Evaluated = true
+		res.Evaluated++
+		if perf < budget {
+			belowBudget[i] = true
+		}
+	}
+
+	// Safest-under-budget: maximal elements among nodes meeting the
+	// budget. Pruned nodes cannot meet it by the monotonicity
+	// assumption.
+	index := make(map[*Config]int, len(cfgs))
+	for i, c := range cfgs {
+		index[c] = i
+	}
+	meets := func(c *Config) bool {
+		m := res.Measurements[index[c]]
+		return m.Evaluated && m.Perf >= budget
+	}
+	res.Safest = p.Maximal(meets)
+	sort.Ints(res.Safest)
+	return res, nil
+}
+
+// SafestConfigs dereferences Result.Safest.
+func (r *Result) SafestConfigs() []*Config {
+	var out []*Config
+	for _, i := range r.Safest {
+		out = append(out, r.Measurements[i].Config)
+	}
+	return out
+}
+
+// String summarizes the exploration.
+func (r *Result) String() string {
+	return fmt.Sprintf("explored %d/%d configurations, %d safest under budget %.0f",
+		r.Evaluated, r.Total, len(r.Safest), r.Budget)
+}
+
+// DOT renders the exploration result as a Graphviz Hasse diagram:
+// node shade encodes performance (black = fastest, like Figure 8),
+// double octagons mark the safest-under-budget configurations, dashed
+// nodes were pruned.
+func (r *Result) DOT(name string) string {
+	var max float64
+	for _, m := range r.Measurements {
+		if m.Perf > max {
+			max = m.Perf
+		}
+	}
+	stars := make(map[int]bool, len(r.Safest))
+	for _, i := range r.Safest {
+		stars[i] = true
+	}
+	return r.poset.DOT(name, func(i int, c *Config) poset.DOTNode {
+		m := r.Measurements[i]
+		shade := 0.0
+		if max > 0 {
+			shade = m.Perf / max
+		}
+		return poset.DOTNode{
+			Label:  c.Label(),
+			Shade:  shade,
+			Star:   stars[i],
+			Pruned: m.Pruned || (m.Evaluated && m.Perf < r.Budget),
+		}
+	})
+}

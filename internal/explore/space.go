@@ -1,0 +1,90 @@
+package explore
+
+import (
+	"flexos/internal/harden"
+	"flexos/internal/isolation"
+)
+
+// Fig6Space generates the paper's 80-configuration space for a
+// four-component application (§6.2): the five compartmentalization
+// strategies of Figure 8 —
+//
+//	A  app+libc+sched+lwip
+//	B  app+libc+sched / lwip
+//	C  app+libc+lwip  / sched
+//	D  app+libc / sched+lwip
+//	E  app+libc / sched / lwip
+//
+// — times the 16 per-component on/off combinations of the hardening
+// stack (stack protector + UBSan + KASan), with MPK+DSS isolation fixed,
+// exactly as Figure 6 fixes it.
+//
+// components must be [app, libc, sched, netstack] in that order.
+func Fig6Space(components [4]string) []*Config {
+	app, libcN, schedN, lwipN := components[0], components[1], components[2], components[3]
+	partitions := [][][]string{
+		{{app, libcN, schedN, lwipN}},     // A
+		{{app, libcN, schedN}, {lwipN}},   // B
+		{{app, libcN, lwipN}, {schedN}},   // C
+		{{app, libcN}, {schedN, lwipN}},   // D
+		{{app, libcN}, {schedN}, {lwipN}}, // E
+	}
+	var cfgs []*Config
+	id := 0
+	for _, part := range partitions {
+		for mask := 0; mask < 16; mask++ {
+			h := make(map[string]harden.Set)
+			for bit, comp := range []string{app, libcN, schedN, lwipN} {
+				if mask&(1<<bit) != 0 {
+					h[comp] = harden.NewSet(harden.All)
+				}
+			}
+			cfgs = append(cfgs, &Config{
+				ID:        id,
+				Blocks:    part,
+				Hardening: h,
+				Mechanism: "intel-mpk",
+				GateMode:  isolation.GateFull,
+				Sharing:   isolation.ShareDSS,
+			})
+			id++
+		}
+	}
+	return cfgs
+}
+
+// Fig5Space generates the poset subset Figure 5 draws: a fixed
+// two-compartment strategy, varying per-compartment hardening over
+// {none, CFI, ASAN, CFI+ASAN} for each of the two compartments (16
+// configurations).
+func Fig5Space(blockA, blockB []string) []*Config {
+	levels := []harden.Set{
+		{},
+		harden.NewSet(harden.CFI),
+		harden.NewSet(harden.KASan),
+		harden.NewSet(harden.CFI, harden.KASan),
+	}
+	var cfgs []*Config
+	id := 0
+	for _, ha := range levels {
+		for _, hb := range levels {
+			h := make(map[string]harden.Set)
+			for _, c := range blockA {
+				h[c] = ha
+			}
+			for _, c := range blockB {
+				h[c] = hb
+			}
+			cfgs = append(cfgs, &Config{
+				ID:        id,
+				Blocks:    [][]string{append([]string{}, blockA...), append([]string{}, blockB...)},
+				Hardening: h,
+				Mechanism: "intel-mpk",
+				GateMode:  isolation.GateFull,
+				Sharing:   isolation.ShareDSS,
+			})
+			id++
+		}
+	}
+	return cfgs
+}

@@ -1,0 +1,104 @@
+package figures
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteCSV writes one figure's rows as a CSV file under dir, for
+// plotting with external tools. The filename is fig<name>.csv.
+func WriteCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "fig"+name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// Fig6CSV converts a Figure 6 series to CSV rows.
+func Fig6CSV(rows []ConfigPerf) ([]string, [][]string) {
+	header := []string{"rank", "id", "compartments", "hardened", "req_per_s", "label"}
+	out := make([][]string, 0, len(rows))
+	for i, r := range rows {
+		out = append(out, []string{
+			strconv.Itoa(i), strconv.Itoa(r.ID), strconv.Itoa(r.Compartments),
+			strconv.Itoa(r.Hardened), fmt.Sprintf("%.1f", r.Perf), r.Label,
+		})
+	}
+	return header, out
+}
+
+// Fig7CSV converts the scatter to CSV rows.
+func Fig7CSV(pts []ScatterPoint) ([]string, [][]string) {
+	header := []string{"id", "compartments", "redis_norm", "nginx_norm"}
+	out := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		out = append(out, []string{
+			strconv.Itoa(p.ID), strconv.Itoa(p.Compartments),
+			fmt.Sprintf("%.4f", p.RedisNorm), fmt.Sprintf("%.4f", p.NginxNorm),
+		})
+	}
+	return header, out
+}
+
+// Fig9CSV converts the iPerf sweep to CSV rows.
+func Fig9CSV(rows []Fig9Row) ([]string, [][]string) {
+	header := []string{"buf_size", "system", "gbps"}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			strconv.Itoa(r.BufSize), r.System, fmt.Sprintf("%.4f", r.Gbps),
+		})
+	}
+	return header, out
+}
+
+// Fig10CSV converts the SQLite comparison to CSV rows.
+func Fig10CSV(rows []Fig10Row) ([]string, [][]string) {
+	header := []string{"system", "isolation", "seconds", "measured"}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.System, r.Isolation, fmt.Sprintf("%.4f", r.Seconds),
+			strconv.FormatBool(r.Measured),
+		})
+	}
+	return header, out
+}
+
+// Fig11aCSV converts the allocation latencies to CSV rows.
+func Fig11aCSV(rows []Fig11aRow) ([]string, [][]string) {
+	header := []string{"strategy", "buffers", "cycles"}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Strategy, strconv.Itoa(r.Buffers), strconv.FormatUint(r.Cycles, 10),
+		})
+	}
+	return header, out
+}
+
+// Fig11bCSV converts the gate latencies to CSV rows.
+func Fig11bCSV(rows []Fig11bRow) ([]string, [][]string) {
+	header := []string{"gate", "cycles"}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Gate, strconv.FormatUint(r.Cycles, 10)})
+	}
+	return header, out
+}

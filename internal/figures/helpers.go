@@ -1,0 +1,27 @@
+package figures
+
+import (
+	iperfapp "flexos/internal/apps/iperf"
+	nginxapp "flexos/internal/apps/nginx"
+	redisapp "flexos/internal/apps/redis"
+	sqliteapp "flexos/internal/apps/sqlite"
+
+	"flexos/internal/core"
+)
+
+// redisBenchmark adapts the Redis benchmark to a plain perf value.
+func redisBenchmark(spec core.ImageSpec, requests int) (float64, error) {
+	res, err := redisapp.Benchmark(spec, requests)
+	if err != nil {
+		return 0, err
+	}
+	return res.ReqPerSec, nil
+}
+
+// registerApps registers all four applications into a catalog.
+func registerApps(cat *core.Catalog) {
+	redisapp.Register(cat)
+	nginxapp.Register(cat)
+	sqliteapp.Register(cat)
+	iperfapp.Register(cat)
+}

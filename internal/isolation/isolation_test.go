@@ -1,0 +1,425 @@
+package isolation
+
+import (
+	"testing"
+
+	"flexos/internal/machine"
+	"flexos/internal/mem"
+	"flexos/internal/sched"
+)
+
+// newSys builds a System with n compartments named c0..c(n-1), each
+// exposing entry point "svc".
+func newSys(t *testing.T, n int) *System {
+	t.Helper()
+	m := machine.New(machine.CostModel{})
+	s := &System{
+		Mach:  m,
+		Sched: sched.New(m),
+		AS:    mem.NewAddrSpace("sys", 256*mem.PageSize, m),
+	}
+	for i := 0; i < n; i++ {
+		c := &Compartment{ID: sched.CompID(i), Name: "c" + string(rune('0'+i))}
+		c.AddEntryPoint("svc")
+		s.Comps = append(s.Comps, c)
+	}
+	return s
+}
+
+func initBackend(t *testing.T, b Backend, sys *System) {
+	t.Helper()
+	if err := b.Init(sys); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	for _, name := range []string{"none", "intel-mpk", "mpk", "vm-ept", "ept", "cheri", "intel-sgx", "sgx"} {
+		b, err := ForName(name)
+		if err != nil {
+			t.Fatalf("ForName(%q): %v", name, err)
+		}
+		if b == nil {
+			t.Fatalf("ForName(%q) returned nil", name)
+		}
+	}
+	if _, err := ForName("trustzone"); err == nil {
+		t.Fatal("unknown mechanism accepted")
+	}
+}
+
+func TestBackendStrengthOrdering(t *testing.T) {
+	none, _ := ForName("none")
+	mpk, _ := ForName("mpk")
+	ept, _ := ForName("ept")
+	if !(none.Strength() < mpk.Strength() && mpk.Strength() < ept.Strength()) {
+		t.Fatalf("strength ordering broken: %v %v %v",
+			none.Strength(), mpk.Strength(), ept.Strength())
+	}
+}
+
+func TestMPKKeyAssignment(t *testing.T) {
+	sys := newSys(t, 3)
+	b := NewMPK()
+	initBackend(t, b, sys)
+	if sys.Comps[0].Key != mem.KeyTCB {
+		t.Fatalf("comp0 key = %d, want TCB key", sys.Comps[0].Key)
+	}
+	seen := map[mem.Key]bool{}
+	for _, c := range sys.Comps {
+		if seen[c.Key] {
+			t.Fatalf("duplicate key %d", c.Key)
+		}
+		if c.Key == mem.KeyShared {
+			t.Fatal("compartment assigned the shared key")
+		}
+		seen[c.Key] = true
+	}
+}
+
+func TestMPKRejectsTooManyCompartments(t *testing.T) {
+	sys := newSys(t, 16)
+	if err := NewMPK().Init(sys); err == nil {
+		t.Fatal("16 compartments must exceed MPK's 15-key budget")
+	}
+}
+
+func TestMPKDoubleInit(t *testing.T) {
+	sys := newSys(t, 2)
+	b := NewMPK()
+	initBackend(t, b, sys)
+	if err := b.Init(sys); err == nil {
+		t.Fatal("double Init accepted")
+	}
+}
+
+func TestMPKThreadCreationHookInstallsDomain(t *testing.T) {
+	sys := newSys(t, 2)
+	initBackend(t, NewMPK(), sys)
+	th := sys.Sched.Spawn("app", 1)
+	c1 := sys.Comps[1]
+	if th.PKRU != c1.PKRU() {
+		t.Fatalf("thread PKRU = %v, want %v", th.PKRU, c1.PKRU())
+	}
+	if !th.PKRU.CanWrite(c1.Key) || !th.PKRU.CanWrite(mem.KeyShared) {
+		t.Fatal("thread must access its own key and the shared domain")
+	}
+	if th.PKRU.CanRead(mem.KeyTCB) {
+		t.Fatal("app thread must not read TCB memory")
+	}
+}
+
+func TestMPKGateSwitchesDomainAndRestores(t *testing.T) {
+	sys := newSys(t, 2)
+	b := NewMPK()
+	initBackend(t, b, sys)
+	th := sys.Sched.Spawn("app", 1)
+	g, err := b.Gate(1, 0, GateFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := th.PKRU
+	var inside mem.PKRU
+	var insideComp sched.CompID
+	err = g.Call(th, "svc", func() error {
+		inside = th.PKRU
+		insideComp = th.Comp
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insideComp != 0 || !inside.CanWrite(mem.KeyTCB) {
+		t.Fatal("gate did not switch to the callee domain")
+	}
+	if th.PKRU != before || th.Comp != 1 {
+		t.Fatal("gate did not restore the caller domain")
+	}
+}
+
+func TestMPKGateEnforcesEntryPoints(t *testing.T) {
+	sys := newSys(t, 2)
+	b := NewMPK()
+	initBackend(t, b, sys)
+	th := sys.Sched.Spawn("app", 1)
+	g, _ := b.Gate(1, 0, GateFull)
+	err := g.Call(th, "not_an_entry", func() error { return nil })
+	if !mem.IsFault(err, mem.FaultCFI) {
+		t.Fatalf("rogue entry: got %v, want CFI fault", err)
+	}
+}
+
+func TestMPKGateCostsMatchFig11b(t *testing.T) {
+	sys := newSys(t, 2)
+	b := NewMPK()
+	initBackend(t, b, sys)
+	light, _ := b.Gate(0, 1, GateLight)
+	full, _ := b.Gate(0, 1, GateFull)
+	if light.Cost() != 62 {
+		t.Errorf("light gate cost = %d, want 62", light.Cost())
+	}
+	if full.Cost() != 108 {
+		t.Errorf("full gate cost = %d, want 108", full.Cost())
+	}
+	// "MPK light gates are 80% faster than normal MPK gates."
+	if !(light.Cost() < full.Cost()) {
+		t.Error("light gate must be cheaper than full gate")
+	}
+}
+
+func TestMPKFullGateIsolatesRegisters(t *testing.T) {
+	sys := newSys(t, 2)
+	b := NewMPK()
+	initBackend(t, b, sys)
+	th := sys.Sched.Spawn("app", 1)
+	th.Regs[0] = 0x5EC2E7
+	full, _ := b.Gate(1, 0, GateFull)
+	var leaked uint64
+	full.Call(th, "svc", func() error {
+		leaked = th.Regs[0]
+		return nil
+	})
+	if leaked != 0 {
+		t.Fatalf("full gate leaked register value %#x", leaked)
+	}
+	if th.Regs[0] == 0 {
+		t.Fatal("full gate must restore caller registers")
+	}
+
+	light, _ := b.Gate(1, 0, GateLight)
+	light.Call(th, "svc", func() error {
+		leaked = th.Regs[0]
+		return nil
+	})
+	if leaked == 0 {
+		t.Fatal("light gate shares the register set by design; expected leak")
+	}
+}
+
+func TestMPKGateStackSwitch(t *testing.T) {
+	sys := newSys(t, 2)
+	b := NewMPK()
+	initBackend(t, b, sys)
+	th := sys.Sched.Spawn("app", 1)
+	calleeStack := sched.NewStack(sys.AS, 0, 8*mem.PageSize, false, sys.Mach)
+	th.SetStack(0, calleeStack)
+	g, _ := b.Gate(1, 0, GateFull)
+	var depthInside int
+	g.Call(th, "svc", func() error {
+		depthInside = calleeStack.Depth()
+		return nil
+	})
+	if depthInside != 1 {
+		t.Fatalf("callee stack depth inside gate = %d, want 1", depthInside)
+	}
+	if calleeStack.Depth() != 0 {
+		t.Fatal("gate must pop the callee frame on return")
+	}
+}
+
+func TestSameCompartmentGateIsPlainCall(t *testing.T) {
+	for _, name := range []string{"none", "mpk", "ept", "cheri", "sgx"} {
+		sys := newSys(t, 2)
+		b, _ := ForName(name)
+		initBackend(t, b, sys)
+		g, err := b.Gate(1, 1, GateDefault)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Cost() != sys.Mach.Costs.FuncCall {
+			t.Fatalf("%s same-comp gate cost = %d, want %d", name, g.Cost(), sys.Mach.Costs.FuncCall)
+		}
+	}
+}
+
+func TestNoneBackendAllowsEverything(t *testing.T) {
+	sys := newSys(t, 3)
+	b := NewNone()
+	initBackend(t, b, sys)
+	th := sys.Sched.Spawn("app", 2)
+	if th.PKRU != mem.PKRUAllowAll {
+		t.Fatal("none backend must leave threads in the allow-all domain")
+	}
+	g, _ := b.Gate(2, 0, GateDefault)
+	cost := sys.Mach.Clock.Span(func() {
+		g.Call(th, "anything", func() error { return nil })
+	})
+	if cost != sys.Mach.Costs.FuncCall {
+		t.Fatalf("none gate cost = %d, want plain call", cost)
+	}
+}
+
+func TestEPTGateCostAndCFI(t *testing.T) {
+	sys := newSys(t, 2)
+	b := NewEPT()
+	initBackend(t, b, sys)
+	th := sys.Sched.Spawn("app", 1)
+	th.PKRU = sys.Comps[1].PKRU()
+	g, _ := b.Gate(1, 0, GateDefault)
+	if g.Cost() != 462 {
+		t.Fatalf("EPT gate cost = %d, want 462 (Fig. 11b)", g.Cost())
+	}
+	// The RPC server rejects illegal function pointers.
+	err := g.Call(th, "rogue", func() error { return nil })
+	if !mem.IsFault(err, mem.FaultCFI) {
+		t.Fatalf("rogue RPC: got %v, want CFI fault", err)
+	}
+	if err := g.Call(th, "svc", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if b.RPCs() != 1 {
+		t.Fatalf("RPC count = %d, want 1", b.RPCs())
+	}
+}
+
+func TestEPTSpawnsRPCServerPools(t *testing.T) {
+	sys := newSys(t, 3)
+	b := NewEPT()
+	initBackend(t, b, sys)
+	// 3 VMs x 4 server threads.
+	if got := sys.Sched.Threads(); got != 12 {
+		t.Fatalf("RPC server threads = %d, want 12", got)
+	}
+}
+
+func TestEPTTCBDuplication(t *testing.T) {
+	sys := newSys(t, 3)
+	b := NewEPT()
+	initBackend(t, b, sys)
+	st := b.Stats()
+	if st.VMs != 3 || st.TCBCopies != 3 {
+		t.Fatalf("EPT stats = %+v, want 3 VMs / 3 TCB copies", st)
+	}
+	mpkStats := NewMPK().Stats()
+	if mpkStats.TCBCopies != 1 {
+		t.Fatal("MPK must not duplicate the TCB")
+	}
+}
+
+func TestGateCostOrderingAcrossBackends(t *testing.T) {
+	// Fig. 11b ordering: call < cheri < mpk-light < mpk-full < ept.
+	sysM := newSys(t, 2)
+	mpk := NewMPK()
+	initBackend(t, mpk, sysM)
+	light, _ := mpk.Gate(0, 1, GateLight)
+	full, _ := mpk.Gate(0, 1, GateFull)
+
+	sysE := newSys(t, 2)
+	ept := NewEPT()
+	initBackend(t, ept, sysE)
+	rpc, _ := ept.Gate(0, 1, GateDefault)
+
+	sysC := newSys(t, 2)
+	cheri := NewCHERI()
+	initBackend(t, cheri, sysC)
+	cg, _ := cheri.Gate(0, 1, GateDefault)
+
+	fc := sysM.Mach.Costs.FuncCall
+	if !(fc < cg.Cost() && cg.Cost() < light.Cost() && light.Cost() < full.Cost() && full.Cost() < rpc.Cost()) {
+		t.Fatalf("cost ordering broken: call=%d cheri=%d light=%d full=%d ept=%d",
+			fc, cg.Cost(), light.Cost(), full.Cost(), rpc.Cost())
+	}
+}
+
+func TestGateUnknownCompartment(t *testing.T) {
+	sys := newSys(t, 2)
+	b := NewMPK()
+	initBackend(t, b, sys)
+	if _, err := b.Gate(0, 9, GateFull); err == nil {
+		t.Fatal("gate to unknown compartment accepted")
+	}
+}
+
+func TestUninitializedBackendGate(t *testing.T) {
+	for _, name := range []string{"none", "mpk", "ept", "cheri", "sgx"} {
+		b, _ := ForName(name)
+		if _, err := b.Gate(0, 1, GateDefault); err == nil {
+			t.Fatalf("%s: gate before Init accepted", name)
+		}
+	}
+}
+
+func TestCrossCompartmentMemoryIsolationEndToEnd(t *testing.T) {
+	// End-to-end: compartment 1 writes a secret into its private page;
+	// compartment 2's thread cannot read it, but can after crossing a
+	// gate into compartment 1.
+	sys := newSys(t, 3)
+	b := NewMPK()
+	initBackend(t, b, sys)
+	c1 := sys.Comps[1]
+	secretPage := uintptr(10 * mem.PageSize)
+	if err := sys.AS.SetKeyRange(secretPage, mem.PageSize, c1.Key); err != nil {
+		t.Fatal(err)
+	}
+	owner := sys.Sched.Spawn("owner", 1)
+	if err := sys.AS.Write(owner.PKRU, secretPage, []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+
+	intruder := sys.Sched.Spawn("intruder", 2)
+	err := sys.AS.Read(intruder.PKRU, secretPage, make([]byte, 6))
+	if !mem.IsFault(err, mem.FaultKeyViolation) {
+		t.Fatalf("intruder read: got %v, want key violation", err)
+	}
+
+	g, _ := b.Gate(2, 1, GateFull)
+	err = g.Call(intruder, "svc", func() error {
+		return sys.AS.Read(intruder.PKRU, secretPage, make([]byte, 6))
+	})
+	if err != nil {
+		t.Fatalf("legitimate gated read failed: %v", err)
+	}
+}
+
+func TestSGXBackend(t *testing.T) {
+	sys := newSys(t, 2)
+	b := NewSGX()
+	initBackend(t, b, sys)
+	th := sys.Sched.Spawn("app", 0)
+	g, err := b.Gate(0, 1, GateDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ECALL round trips dwarf even EPT RPC.
+	if g.Cost() <= sys.Mach.Costs.EPTGate {
+		t.Fatalf("SGX gate cost %d should exceed EPT's %d", g.Cost(), sys.Mach.Costs.EPTGate)
+	}
+	// Ecall-table enforcement.
+	if err := g.Call(th, "rogue", func() error { return nil }); !mem.IsFault(err, mem.FaultCFI) {
+		t.Fatalf("rogue ecall: %v", err)
+	}
+	if err := g.Call(th, "svc", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if b.ECalls() != 1 {
+		t.Fatalf("ecalls = %d", b.ECalls())
+	}
+	// Registers are always scrubbed (no light flavor).
+	th.Regs[0] = 0xBEEF
+	var leaked uint64
+	g.Call(th, "svc", func() error { leaked = th.Regs[0]; return nil })
+	if leaked != 0 {
+		t.Fatal("SGX gate leaked registers")
+	}
+	if b.Strength() != StrengthInterAS {
+		t.Fatal("SGX must rank at inter-AS strength (protects against the TCB)")
+	}
+}
+
+func TestSGXEnclaveMemoryHiddenFromDefaultCompartment(t *testing.T) {
+	// Unlike MPK's TCB key 0 view, enclave pages are unreadable from
+	// compartment 0's domain too: confidentiality against the host.
+	sys := newSys(t, 2)
+	b := NewSGX()
+	initBackend(t, b, sys)
+	encl := sys.Comps[1]
+	page := uintptr(4 * mem.PageSize)
+	if err := sys.AS.SetKeyRange(page, mem.PageSize, encl.Key); err != nil {
+		t.Fatal(err)
+	}
+	host := sys.Sched.Spawn("host", 0)
+	err := sys.AS.Read(host.PKRU, page, make([]byte, 8))
+	if !mem.IsFault(err, mem.FaultKeyViolation) {
+		t.Fatalf("host read of enclave memory: got %v, want fault", err)
+	}
+}

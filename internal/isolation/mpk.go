@@ -1,0 +1,224 @@
+package isolation
+
+import (
+	"fmt"
+
+	"flexos/internal/mem"
+	"flexos/internal/sched"
+)
+
+// MPKBackend implements isolation with Intel Memory Protection Keys
+// (§4.1). Each compartment is associated with one protection key; key 15
+// is reserved for the shared communication domain. The per-thread PKRU
+// register is switched by gates on domain transitions and installed by
+// scheduler hooks on thread creation and context switch.
+//
+// Because FlexOS loads no code after compilation, unauthorized wrpkru
+// instructions are excluded by static binary analysis plus strict W^X
+// (§4.1); the simulation models this by only ever mutating PKRU inside
+// gate and hook code.
+type MPKBackend struct {
+	sys     *System
+	nextKey mem.Key
+	gates   uint64
+	// restricted maps a canonical compartment-group string to the key
+	// allocated for its restricted shared domain.
+	restricted map[string]mem.Key
+}
+
+// NewMPK returns the Intel MPK backend.
+func NewMPK() *MPKBackend { return &MPKBackend{} }
+
+// Name implements Backend.
+func (b *MPKBackend) Name() string { return "intel-mpk" }
+
+// Strength implements Backend.
+func (b *MPKBackend) Strength() Strength { return StrengthIntraAS }
+
+// MaxCompartments implements Backend: 16 keys, minus the shared domain,
+// leaves 15 (the paper: "if the image features less than 15 compartments,
+// FlexOS uses remaining keys for additional shared domains").
+func (b *MPKBackend) MaxCompartments() int { return 15 }
+
+// Init implements Backend: assigns each compartment a key (compartment 0,
+// holding the TCB, keeps key 0) and registers the PKRU-maintenance hooks.
+func (b *MPKBackend) Init(sys *System) error {
+	if b.sys != nil {
+		return fmt.Errorf("isolation: mpk backend initialized twice")
+	}
+	if len(sys.Comps) > b.MaxCompartments() {
+		return fmt.Errorf("isolation: mpk supports at most %d compartments, image has %d",
+			b.MaxCompartments(), len(sys.Comps))
+	}
+	b.sys = sys
+	b.nextKey = 1
+	for _, c := range sys.Comps {
+		if c.ID == 0 {
+			c.Key = mem.KeyTCB
+			continue
+		}
+		if b.nextKey >= mem.KeyShared {
+			return fmt.Errorf("isolation: out of protection keys")
+		}
+		c.Key = b.nextKey
+		b.nextKey++
+	}
+	sys.Sched.RegisterHooks(&mpkHooks{sys: sys})
+	return nil
+}
+
+// mpkHooks is the backend's use of the kernel hook API: the thread
+// creation hook switches a newly created thread to the right protection
+// domain (the example given in §3.2), and the switch hook re-installs the
+// incoming thread's PKRU, since PKRU is per-thread state.
+type mpkHooks struct {
+	sys *System
+}
+
+func (h *mpkHooks) ThreadCreated(t *sched.Thread) {
+	if c := h.sys.Comp(t.Comp); c != nil {
+		t.PKRU = c.PKRU()
+	}
+}
+
+func (h *mpkHooks) ThreadSwitch(_, to *sched.Thread) {
+	if to == nil {
+		return
+	}
+	if c := h.sys.Comp(to.Comp); c != nil {
+		to.PKRU = c.PKRU()
+	}
+}
+
+// Gate implements Backend. GateDefault maps to the full gate; GateLight
+// selects the ERIM-style shared-stack gate.
+func (b *MPKBackend) Gate(from, to sched.CompID, mode GateMode) (Gate, error) {
+	if b.sys == nil {
+		return nil, fmt.Errorf("isolation: mpk backend not initialized")
+	}
+	if from == to {
+		return NewFuncGate(b.sys.Mach), nil
+	}
+	src, dst := b.sys.Comp(from), b.sys.Comp(to)
+	if src == nil || dst == nil {
+		return nil, fmt.Errorf("isolation: gate between unknown compartments %d -> %d", from, to)
+	}
+	b.gates++
+	light := mode == GateLight
+	return &mpkGate{sys: b.sys, from: src, to: dst, light: light}, nil
+}
+
+// Stats implements Backend. The paper reports ~3000 LoC of TCB for MPK.
+func (b *MPKBackend) Stats() ImageStats {
+	return ImageStats{VMs: 1, TCBCopies: 1, TCBLoC: 3000}
+}
+
+// RestrictedDomain implements RestrictedSharer: it allocates one of the
+// remaining protection keys for a shared domain covering exactly the
+// given compartments, granting each of them access via ExtraKeys.
+// Requests for the same group reuse the same key.
+func (b *MPKBackend) RestrictedDomain(comps []sched.CompID) (mem.Key, bool) {
+	if b.sys == nil || len(comps) == 0 {
+		return 0, false
+	}
+	sorted := append([]sched.CompID(nil), comps...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	tag := ""
+	for _, c := range sorted {
+		tag += fmt.Sprintf("%d,", c)
+	}
+	if b.restricted == nil {
+		b.restricted = make(map[string]mem.Key)
+	}
+	if k, ok := b.restricted[tag]; ok {
+		return k, true
+	}
+	if b.nextKey >= mem.KeyShared {
+		return 0, false // out of keys: caller falls back to the shared heap
+	}
+	k := b.nextKey
+	b.nextKey++
+	b.restricted[tag] = k
+	for _, id := range sorted {
+		if c := b.sys.Comp(id); c != nil {
+			c.ExtraKeys = append(c.ExtraKeys, k)
+		}
+	}
+	return k, true
+}
+
+// mpkGate is a bound MPK call gate. The full variant (§4.1) (1) saves the
+// caller's register set, (2) clears registers, (3) loads arguments, (4)
+// saves the stack pointer, (5) switches thread permissions, (6) switches
+// the stack via the compartment's stack registry, and (7) executes the
+// call; the sequence runs in reverse on return. The light variant only
+// switches the PKRU around a normal call.
+type mpkGate struct {
+	sys   *System
+	from  *Compartment
+	to    *Compartment
+	light bool
+	calls uint64
+}
+
+// String implements Gate.
+func (g *mpkGate) String() string {
+	if g.light {
+		return "mpk/light"
+	}
+	return "mpk/full"
+}
+
+// Cost implements Gate (Fig. 11b: 62 light, 108 full).
+func (g *mpkGate) Cost() uint64 {
+	if g.light {
+		return g.sys.Mach.Costs.MPKLightGate()
+	}
+	return g.sys.Mach.Costs.MPKFullGate()
+}
+
+// Call implements Gate.
+func (g *mpkGate) Call(t *sched.Thread, entry string, fn func() error) error {
+	// Hardcoded gates mean compartments can only be entered at
+	// well-defined points, an inexpensive form of CFI (§4.1).
+	if !g.to.EntryPoints[entry] {
+		return CFIFault(g.to.Name, entry)
+	}
+	g.calls++
+	g.sys.Mach.Charge(g.Cost())
+
+	savedPKRU, savedComp := t.PKRU, t.Comp
+	var savedRegs [8]uint64
+	var calleeStack *sched.Stack
+	if !g.light {
+		// Register isolation: save and zero the scratch file.
+		savedRegs = t.Regs
+		t.Regs = [8]uint64{}
+		// Stack switch through the stack registry.
+		if calleeStack = t.Stack(g.to.ID); calleeStack != nil {
+			if err := calleeStack.PushFrame(g.to.PKRU(), false); err != nil {
+				return err
+			}
+		}
+	}
+	t.PKRU = g.to.PKRU()
+	t.Comp = g.to.ID
+
+	err := fn()
+
+	t.PKRU = savedPKRU
+	t.Comp = savedComp
+	if !g.light {
+		if calleeStack != nil {
+			if perr := calleeStack.PopFrame(g.to.PKRU()); perr != nil && err == nil {
+				err = perr
+			}
+		}
+		t.Regs = savedRegs
+	}
+	return err
+}

@@ -1,0 +1,63 @@
+package isolation
+
+import (
+	"fmt"
+
+	"flexos/internal/sched"
+)
+
+// NoneBackend is the degenerate backend: all compartments collapse into a
+// single protection domain and gates are plain function calls. A FlexOS
+// image built with it is equivalent to vanilla Unikraft — the paper's
+// "FlexOS NONE" baseline, which Figures 9 and 10 show adds no overhead
+// ("users only pay for what they get").
+type NoneBackend struct {
+	sys *System
+}
+
+// NewNone returns the NONE backend.
+func NewNone() *NoneBackend { return &NoneBackend{} }
+
+// Name implements Backend.
+func (b *NoneBackend) Name() string { return "none" }
+
+// Strength implements Backend.
+func (b *NoneBackend) Strength() Strength { return StrengthNone }
+
+// MaxCompartments implements Backend. Any number of compartments can be
+// declared; they simply are not isolated from one another.
+func (b *NoneBackend) MaxCompartments() int { return 1 << 30 }
+
+// Init implements Backend: every compartment gets the TCB key and an
+// allow-all protection register, like a classic single-protection-domain
+// unikernel.
+func (b *NoneBackend) Init(sys *System) error {
+	if b.sys != nil {
+		return fmt.Errorf("isolation: none backend initialized twice")
+	}
+	b.sys = sys
+	for _, c := range sys.Comps {
+		c.Key = 0
+	}
+	sys.Sched.RegisterHooks(noneHooks{})
+	return nil
+}
+
+// noneHooks keeps every thread in the allow-all domain.
+type noneHooks struct{}
+
+func (noneHooks) ThreadCreated(t *sched.Thread)   { t.PKRU = 0 /* allow all */ }
+func (noneHooks) ThreadSwitch(_, _ *sched.Thread) {}
+
+// Gate implements Backend.
+func (b *NoneBackend) Gate(from, to sched.CompID, mode GateMode) (Gate, error) {
+	if b.sys == nil {
+		return nil, fmt.Errorf("isolation: none backend not initialized")
+	}
+	return NewFuncGate(b.sys.Mach), nil
+}
+
+// Stats implements Backend.
+func (b *NoneBackend) Stats() ImageStats {
+	return ImageStats{VMs: 1, TCBCopies: 1, TCBLoC: 0}
+}

@@ -1,0 +1,145 @@
+// Package libc implements the newlib analogue: the C library component
+// FlexOS images link. Applications call it for parsing, formatting and
+// string operations; Figure 6 toggles isolation and hardening on it under
+// the name "newlib".
+//
+// The functional pieces operate on simulated memory through the context,
+// so cross-compartment buffer bugs fault exactly as they would under MPK.
+package libc
+
+import (
+	"fmt"
+
+	"flexos/internal/core"
+)
+
+// Name is the component name used in configuration files.
+const Name = "newlib"
+
+// Work costs per call (cycles), calibrated so that newlib accounts for a
+// few hundred cycles of a Redis request (see DESIGN.md calibration notes).
+const (
+	parseWork  = 120
+	formatWork = 130
+	strcmpWork = 30
+	memcpyBase = 20
+)
+
+// Register adds the newlib component to the catalog.
+func Register(cat *core.Catalog) {
+	c := core.NewComponent(Name)
+	// newlib row is not in Table 1 (it ships pre-ported with FlexOS),
+	// but it is a first-class Figure 6 component.
+
+	// parse tokenizes a request buffer in simulated memory: args are
+	// (addr uintptr, n int); returns the first token as a string.
+	c.AddFunc(&core.Func{
+		Name: "parse", Work: parseWork, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			addr, n, err := addrLen(args)
+			if err != nil {
+				return nil, err
+			}
+			buf := make([]byte, n)
+			if err := ctx.Read(addr, buf); err != nil {
+				return nil, err
+			}
+			ctx.Charge(uint64(n)) // per-byte scan
+			for i, b := range buf {
+				if b == ' ' || b == '\r' || b == '\n' || b == 0 {
+					return string(buf[:i]), nil
+				}
+			}
+			return string(buf), nil
+		},
+	})
+
+	// format writes a reply string into a buffer: args are
+	// (addr uintptr, s string); returns the byte count.
+	c.AddFunc(&core.Func{
+		Name: "format", Work: formatWork, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			if len(args) != 2 {
+				return nil, fmt.Errorf("libc: format(addr, s)")
+			}
+			addr, ok := args[0].(uintptr)
+			if !ok {
+				return nil, fmt.Errorf("libc: format addr must be uintptr")
+			}
+			s, ok := args[1].(string)
+			if !ok {
+				return nil, fmt.Errorf("libc: format value must be string")
+			}
+			ctx.Charge(uint64(len(s)))
+			if err := ctx.Write(addr, []byte(s)); err != nil {
+				return nil, err
+			}
+			return len(s), nil
+		},
+	})
+
+	// strcmp compares a simulated buffer to a constant: args are
+	// (addr uintptr, n int, s string); returns bool.
+	c.AddFunc(&core.Func{
+		Name: "strcmp", Work: strcmpWork, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			if len(args) != 3 {
+				return nil, fmt.Errorf("libc: strcmp(addr, n, s)")
+			}
+			addr := args[0].(uintptr)
+			n := args[1].(int)
+			s := args[2].(string)
+			buf := make([]byte, n)
+			if err := ctx.Read(addr, buf); err != nil {
+				return nil, err
+			}
+			return string(buf) == s, nil
+		},
+	})
+
+	// memcpy copies between simulated buffers: args are (dst, src
+	// uintptr, n int).
+	c.AddFunc(&core.Func{
+		Name: "memcpy", Work: memcpyBase, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			if len(args) != 3 {
+				return nil, fmt.Errorf("libc: memcpy(dst, src, n)")
+			}
+			dst := args[0].(uintptr)
+			src := args[1].(uintptr)
+			n := args[2].(int)
+			if err := ctx.Memmove(dst, src, n); err != nil {
+				return nil, err
+			}
+			return n, nil
+		},
+	})
+
+	// checked_add is the UBSan-instrumented arithmetic helper: overflow
+	// traps when the hosting compartment enables ubsan.
+	c.AddFunc(&core.Func{
+		Name: "checked_add", Work: 6, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			if len(args) != 2 {
+				return nil, fmt.Errorf("libc: checked_add(a, b)")
+			}
+			return ctx.Hardening().CheckedAdd(args[0].(int64), args[1].(int64))
+		},
+	})
+	cat.MustRegister(c)
+}
+
+func addrLen(args []any) (uintptr, int, error) {
+	if len(args) != 2 {
+		return 0, 0, fmt.Errorf("libc: want (addr, n)")
+	}
+	addr, ok := args[0].(uintptr)
+	if !ok {
+		return 0, 0, fmt.Errorf("libc: addr must be uintptr")
+	}
+	n, ok := args[1].(int)
+	if !ok {
+		return 0, 0, fmt.Errorf("libc: n must be int")
+	}
+	return addr, n, nil
+}

@@ -1,0 +1,141 @@
+package libc
+
+import (
+	"testing"
+
+	"flexos/internal/core"
+	"flexos/internal/harden"
+	"flexos/internal/oslib"
+)
+
+func testImage(t *testing.T, hs harden.Set) *core.Image {
+	t.Helper()
+	cat := core.NewCatalog()
+	oslib.RegisterTCB(cat)
+	Register(cat)
+	img, err := core.Build(cat, core.ImageSpec{
+		Mechanism: "none",
+		Comps: []core.CompSpec{{
+			Name: "c0", Libs: []string{oslib.BootName, oslib.MMName, Name},
+			Hardening: hs,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestParseTokenizes(t *testing.T) {
+	img := testImage(t, harden.Set{})
+	ctx, _ := img.NewContext("t", Name)
+	buf, err := ctx.AllocPrivate(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Write(buf, []byte("GET key7\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := ctx.Call(Name, "parse", buf, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok != "GET" {
+		t.Fatalf("parse = %q, want GET", tok)
+	}
+}
+
+func TestParseWholeBufferWhenNoDelimiter(t *testing.T) {
+	img := testImage(t, harden.Set{})
+	ctx, _ := img.NewContext("t", Name)
+	buf, _ := ctx.AllocPrivate(8)
+	ctx.Write(buf, []byte("PING"))
+	tok, err := ctx.Call(Name, "parse", buf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok != "PING" {
+		t.Fatalf("parse = %q", tok)
+	}
+}
+
+func TestFormatWritesBuffer(t *testing.T) {
+	img := testImage(t, harden.Set{})
+	ctx, _ := img.NewContext("t", Name)
+	buf, _ := ctx.AllocPrivate(32)
+	n, err := ctx.Call(Name, "format", buf, "+OK\r\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("format returned %v", n)
+	}
+	out := make([]byte, 5)
+	ctx.Read(buf, out)
+	if string(out) != "+OK\r\n" {
+		t.Fatalf("buffer = %q", out)
+	}
+}
+
+func TestStrcmp(t *testing.T) {
+	img := testImage(t, harden.Set{})
+	ctx, _ := img.NewContext("t", Name)
+	buf, _ := ctx.AllocPrivate(8)
+	ctx.Write(buf, []byte("abc"))
+	eq, err := ctx.Call(Name, "strcmp", buf, 3, "abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq != true {
+		t.Fatal("strcmp equal strings")
+	}
+	ne, _ := ctx.Call(Name, "strcmp", buf, 3, "abd")
+	if ne != false {
+		t.Fatal("strcmp different strings")
+	}
+}
+
+func TestMemcpy(t *testing.T) {
+	img := testImage(t, harden.Set{})
+	ctx, _ := img.NewContext("t", Name)
+	src, _ := ctx.AllocPrivate(16)
+	dst, _ := ctx.AllocPrivate(16)
+	ctx.Write(src, []byte("0123456789abcdef"))
+	if _, err := ctx.Call(Name, "memcpy", dst, src, 16); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 16)
+	ctx.Read(dst, out)
+	if string(out) != "0123456789abcdef" {
+		t.Fatalf("memcpy result = %q", out)
+	}
+}
+
+func TestCheckedAddRespectsUBSan(t *testing.T) {
+	// Without UBSan: silent wrap.
+	img := testImage(t, harden.Set{})
+	ctx, _ := img.NewContext("t", Name)
+	if _, err := ctx.Call(Name, "checked_add", int64(1<<62), int64(1<<62)); err != nil {
+		t.Fatalf("unhardened add trapped: %v", err)
+	}
+	// With UBSan: the overflow traps.
+	imgU := testImage(t, harden.NewSet(harden.UBSan))
+	ctxU, _ := imgU.NewContext("t", Name)
+	if _, err := ctxU.Call(Name, "checked_add", int64(1<<62), int64(1<<62)); err == nil {
+		t.Fatal("ubsan-hardened add did not trap")
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	img := testImage(t, harden.Set{})
+	ctx, _ := img.NewContext("t", Name)
+	if _, err := ctx.Call(Name, "parse", "notanaddr", 3); err == nil {
+		t.Fatal("parse with bad addr type accepted")
+	}
+	if _, err := ctx.Call(Name, "format", uintptr(0)); err == nil {
+		t.Fatal("format with missing args accepted")
+	}
+	if _, err := ctx.Call(Name, "memcpy", uintptr(0), uintptr(0)); err == nil {
+		t.Fatal("memcpy with missing args accepted")
+	}
+}

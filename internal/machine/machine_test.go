@@ -1,0 +1,132 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Cycles() != 0 {
+		t.Fatalf("fresh clock at %d cycles, want 0", c.Cycles())
+	}
+	c.Advance(100)
+	c.Advance(23)
+	if got := c.Cycles(); got != 123 {
+		t.Fatalf("Cycles() = %d, want 123", got)
+	}
+	c.Reset()
+	if c.Cycles() != 0 {
+		t.Fatal("Reset did not zero the clock")
+	}
+}
+
+func TestClockSeconds(t *testing.T) {
+	var c Clock
+	c.Advance(2_200_000_000)
+	if got := c.Seconds(2.2e9); got != 1.0 {
+		t.Fatalf("Seconds = %v, want 1.0", got)
+	}
+}
+
+func TestClockSpan(t *testing.T) {
+	var c Clock
+	got := c.Span(func() { c.Advance(42) })
+	if got != 42 {
+		t.Fatalf("Span = %d, want 42", got)
+	}
+}
+
+func TestDefaultCostsMatchPaperFig11b(t *testing.T) {
+	m := DefaultCosts()
+	// Figure 11b targets (cycles): function 2, MPK-light 62, MPK-dss 108,
+	// EPT 462, syscall 146 / 470.
+	if m.FuncCall != 2 {
+		t.Errorf("FuncCall = %d, want 2", m.FuncCall)
+	}
+	if got := m.MPKLightGate(); got != 62 {
+		t.Errorf("MPKLightGate = %d, want 62", got)
+	}
+	if got := m.MPKFullGate(); got != 108 {
+		t.Errorf("MPKFullGate = %d, want 108", got)
+	}
+	if m.EPTGate != 462 {
+		t.Errorf("EPTGate = %d, want 462", m.EPTGate)
+	}
+	if m.SyscallNoKPTI != 146 || m.SyscallKPTI != 470 {
+		t.Errorf("syscalls = %d/%d, want 146/470", m.SyscallNoKPTI, m.SyscallKPTI)
+	}
+}
+
+func TestDefaultCostsValidate(t *testing.T) {
+	if err := DefaultCosts().Validate(); err != nil {
+		t.Fatalf("default cost model invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBrokenModels(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*CostModel)
+	}{
+		{"zero freq", func(m *CostModel) { m.FreqHz = 0 }},
+		{"zero funccall", func(m *CostModel) { m.FuncCall = 0 }},
+		{"ept cheaper than mpk", func(m *CostModel) { m.EPTGate = 10 }},
+		{"heap cheaper than stack", func(m *CostModel) { m.HeapAllocFast = 1 }},
+	}
+	for _, tc := range cases {
+		m := DefaultCosts()
+		tc.mut(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken model", tc.name)
+		}
+	}
+}
+
+func TestCopyCost(t *testing.T) {
+	m := DefaultCosts()
+	if got := m.CopyCost(0); got != 0 {
+		t.Errorf("CopyCost(0) = %d, want 0", got)
+	}
+	if got := m.CopyCost(1); got != 1 {
+		t.Errorf("CopyCost(1) = %d, want 1 (rounds up)", got)
+	}
+	if got := m.CopyCost(16); got != 1 {
+		t.Errorf("CopyCost(16) = %d, want 1", got)
+	}
+	if got := m.CopyCost(17); got != 2 {
+		t.Errorf("CopyCost(17) = %d, want 2", got)
+	}
+}
+
+func TestCopyCostMonotonic(t *testing.T) {
+	m := DefaultCosts()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.CopyCost(x) <= m.CopyCost(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMachineThroughput(t *testing.T) {
+	m := New(CostModel{})
+	if got := m.Throughput(100); got != 0 {
+		t.Fatalf("throughput with no elapsed time = %v, want 0", got)
+	}
+	m.Charge(uint64(m.Costs.FreqHz)) // one simulated second
+	if got := m.Throughput(500); got != 500 {
+		t.Fatalf("throughput = %v, want 500 ops/s", got)
+	}
+}
+
+func TestNewDefaultsZeroModel(t *testing.T) {
+	m := New(CostModel{})
+	if m.Costs.FreqHz != DefaultCosts().FreqHz {
+		t.Fatal("New did not substitute default costs for a zero model")
+	}
+}

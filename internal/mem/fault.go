@@ -1,0 +1,76 @@
+package mem
+
+import "fmt"
+
+// FaultKind classifies protection faults raised by the simulated MMU and
+// the KASan shadow checker.
+type FaultKind int
+
+const (
+	// FaultUnmapped is an access outside the address space.
+	FaultUnmapped FaultKind = iota
+	// FaultKeyViolation is an MPK protection-key mismatch: the accessing
+	// thread's PKRU does not permit the page's key.
+	FaultKeyViolation
+	// FaultKASanRedzone is an access to a poisoned (redzone or freed)
+	// byte detected by the KASan shadow.
+	FaultKASanRedzone
+	// FaultEPTViolation is an access from one VM to another VM's private
+	// memory under the EPT backend.
+	FaultEPTViolation
+	// FaultStackSmash is a corrupted stack canary detected by the stack
+	// protector at gate return.
+	FaultStackSmash
+	// FaultCFI is a control-flow transfer to a non-entry-point detected
+	// by a gate or RPC server.
+	FaultCFI
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultUnmapped:
+		return "unmapped"
+	case FaultKeyViolation:
+		return "protection-key violation"
+	case FaultKASanRedzone:
+		return "kasan redzone"
+	case FaultEPTViolation:
+		return "ept violation"
+	case FaultStackSmash:
+		return "stack smashing detected"
+	case FaultCFI:
+		return "cfi violation"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// Fault is the error type produced by failed simulated memory accesses.
+// It mirrors the information a page-fault handler would receive: faulting
+// address, access width, write/read, the page's key, and the PKRU in force.
+type Fault struct {
+	Kind  FaultKind
+	Addr  uintptr
+	Len   int
+	Write bool
+	Key   Key
+	PKRU  PKRU
+	Space string // name of the address space (VM) the fault occurred in
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	op := "read"
+	if f.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("mem: %s at %s:%#x (+%d) during %s: page key %d vs %s",
+		f.Kind, f.Space, f.Addr, f.Len, op, f.Key, f.PKRU)
+}
+
+// IsFault reports whether err is a *Fault of the given kind.
+func IsFault(err error, kind FaultKind) bool {
+	f, ok := err.(*Fault)
+	return ok && f.Kind == kind
+}

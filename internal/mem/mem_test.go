@@ -1,0 +1,230 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flexos/internal/machine"
+)
+
+func newTestAS(t *testing.T, pages int) *AddrSpace {
+	t.Helper()
+	return NewAddrSpace("test", pages*PageSize, machine.New(machine.CostModel{}))
+}
+
+func TestPKRUAllowDeny(t *testing.T) {
+	p := PKRUDenyAll()
+	for k := Key(0); k < NumKeys; k++ {
+		if p.CanRead(k) || p.CanWrite(k) {
+			t.Fatalf("deny-all PKRU permits key %d", k)
+		}
+	}
+	p = p.Allow(3)
+	if !p.CanRead(3) || !p.CanWrite(3) {
+		t.Fatal("Allow(3) did not grant rw")
+	}
+	if p.CanRead(4) {
+		t.Fatal("Allow(3) leaked into key 4")
+	}
+	p = p.AllowRead(5)
+	if !p.CanRead(5) || p.CanWrite(5) {
+		t.Fatal("AllowRead(5) should grant read-only")
+	}
+	p = p.Deny(3)
+	if p.CanRead(3) {
+		t.Fatal("Deny(3) did not revoke")
+	}
+}
+
+func TestPKRUAllowAllIsZero(t *testing.T) {
+	for k := Key(0); k < NumKeys; k++ {
+		if !PKRUAllowAll.CanRead(k) || !PKRUAllowAll.CanWrite(k) {
+			t.Fatalf("PKRUAllowAll denies key %d", k)
+		}
+	}
+}
+
+func TestDomainPKRU(t *testing.T) {
+	p := DomainPKRU(2, KeyShared)
+	if !p.CanWrite(2) || !p.CanWrite(KeyShared) {
+		t.Fatal("DomainPKRU must grant own + shared keys")
+	}
+	for k := Key(0); k < NumKeys; k++ {
+		if k == 2 || k == KeyShared {
+			continue
+		}
+		if p.CanRead(k) {
+			t.Fatalf("DomainPKRU leaked key %d", k)
+		}
+	}
+}
+
+// Property: Allow and Deny are inverses for any starting register.
+func TestPKRUAllowDenyProperty(t *testing.T) {
+	f := func(raw uint32, kraw uint8) bool {
+		p := PKRU(raw)
+		k := Key(kraw % NumKeys)
+		pa := p.Allow(k)
+		pd := pa.Deny(k)
+		return pa.CanRead(k) && pa.CanWrite(k) && !pd.CanRead(k) && !pd.CanWrite(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrSpaceReadWriteRoundTrip(t *testing.T) {
+	as := newTestAS(t, 4)
+	want := []byte("hello flexos")
+	if err := as.Write(PKRUAllowAll, 100, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if err := as.Read(PKRUAllowAll, 100, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("round trip = %q, want %q", got, want)
+	}
+}
+
+func TestAddrSpaceKeyEnforcement(t *testing.T) {
+	as := newTestAS(t, 4)
+	// Page 1 belongs to compartment key 2.
+	if err := as.SetKeyRange(PageSize, PageSize, 2); err != nil {
+		t.Fatal(err)
+	}
+	attacker := DomainPKRU(3, KeyShared) // compartment 3 cannot touch key 2
+	err := as.Write(attacker, PageSize+8, []byte{1})
+	if !IsFault(err, FaultKeyViolation) {
+		t.Fatalf("cross-compartment write: got %v, want key violation", err)
+	}
+	err = as.Read(attacker, PageSize+8, make([]byte, 1))
+	if !IsFault(err, FaultKeyViolation) {
+		t.Fatalf("cross-compartment read: got %v, want key violation", err)
+	}
+	owner := DomainPKRU(2, KeyShared)
+	if err := as.Write(owner, PageSize+8, []byte{1}); err != nil {
+		t.Fatalf("owner write failed: %v", err)
+	}
+}
+
+func TestAddrSpaceReadOnlyKey(t *testing.T) {
+	as := newTestAS(t, 2)
+	if err := as.SetKeyRange(0, PageSize, 4); err != nil {
+		t.Fatal(err)
+	}
+	ro := PKRUDenyAll().AllowRead(4)
+	if err := as.Read(ro, 0, make([]byte, 8)); err != nil {
+		t.Fatalf("read-only read failed: %v", err)
+	}
+	err := as.Write(ro, 0, []byte{1})
+	if !IsFault(err, FaultKeyViolation) {
+		t.Fatalf("read-only write: got %v, want key violation", err)
+	}
+}
+
+func TestAddrSpaceUnmapped(t *testing.T) {
+	as := newTestAS(t, 1)
+	err := as.Write(PKRUAllowAll, uintptr(as.Size()-2), []byte{1, 2, 3, 4})
+	if !IsFault(err, FaultUnmapped) {
+		t.Fatalf("OOB write: got %v, want unmapped fault", err)
+	}
+}
+
+func TestAddrSpaceCrossPageAccessChecksBothPages(t *testing.T) {
+	as := newTestAS(t, 2)
+	if err := as.SetKeyRange(PageSize, PageSize, 7); err != nil {
+		t.Fatal(err)
+	}
+	p := PKRUDenyAll().Allow(KeyTCB) // may touch page 0 only
+	// Access straddling page 0 -> page 1 must fault on page 1's key.
+	err := as.Write(p, PageSize-4, make([]byte, 8))
+	if !IsFault(err, FaultKeyViolation) {
+		t.Fatalf("straddling write: got %v, want key violation", err)
+	}
+}
+
+func TestAddrSpaceFaultChargesCycles(t *testing.T) {
+	m := machine.New(machine.CostModel{})
+	as := NewAddrSpace("t", PageSize, m)
+	as.SetKeyRange(0, PageSize, 5)
+	before := m.Clock.Cycles()
+	_ = as.Write(PKRUDenyAll(), 0, []byte{1})
+	if m.Clock.Cycles()-before < m.Costs.PageFault {
+		t.Fatal("protection fault did not charge the page-fault cost")
+	}
+}
+
+func TestMemmoveChecksBothSides(t *testing.T) {
+	as := newTestAS(t, 2)
+	as.SetKeyRange(PageSize, PageSize, 9)
+	p := PKRUDenyAll().Allow(KeyTCB)
+	if err := as.Memmove(p, 0, 16, 8); err != nil {
+		t.Fatalf("intra-key memmove failed: %v", err)
+	}
+	err := as.Memmove(p, PageSize, 0, 8)
+	if !IsFault(err, FaultKeyViolation) {
+		t.Fatalf("memmove into foreign key: got %v, want violation", err)
+	}
+	err = as.Memmove(p, 0, PageSize, 8)
+	if !IsFault(err, FaultKeyViolation) {
+		t.Fatalf("memmove from foreign key: got %v, want violation", err)
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	as := newTestAS(t, 1)
+	if err := as.WriteUint64(PKRUAllowAll, 64, 0xdeadbeefcafe); err != nil {
+		t.Fatal(err)
+	}
+	v, err := as.ReadUint64(PKRUAllowAll, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xdeadbeefcafe {
+		t.Fatalf("uint64 round trip = %#x", v)
+	}
+}
+
+func TestByteRoundTrip(t *testing.T) {
+	as := newTestAS(t, 1)
+	if err := as.StoreByte(PKRUAllowAll, 5, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	b, err := as.LoadByte(PKRUAllowAll, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 0xAB {
+		t.Fatalf("byte round trip = %#x", b)
+	}
+}
+
+// Property: data written under one key is readable under any PKRU that can
+// read that key, and never under one that cannot.
+func TestKeyVisibilityProperty(t *testing.T) {
+	m := machine.New(machine.CostModel{})
+	as := NewAddrSpace("prop", 16*PageSize, m)
+	f := func(pageRaw, keyRaw, readerRaw uint8) bool {
+		page := uintptr(pageRaw%16) * PageSize
+		key := Key(keyRaw % NumKeys)
+		reader := Key(readerRaw % NumKeys)
+		if err := as.SetKeyRange(page, PageSize, key); err != nil {
+			return false
+		}
+		owner := PKRUDenyAll().Allow(key)
+		if as.Write(owner, page, []byte{42}) != nil {
+			return false
+		}
+		rp := PKRUDenyAll().Allow(reader)
+		err := as.Read(rp, page, make([]byte, 1))
+		if reader == key {
+			return err == nil
+		}
+		return IsFault(err, FaultKeyViolation)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

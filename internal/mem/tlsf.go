@@ -1,0 +1,146 @@
+package mem
+
+import (
+	"math/bits"
+
+	"flexos/internal/machine"
+)
+
+// TLSF is a simplified two-level segregated-fit allocator modeled on the
+// TLSF allocator Unikraft ships (Masmano et al., cited by the paper). It
+// provides near-constant allocation cost: free blocks are kept in
+// power-of-two size-class lists; allocation pops the matching class or
+// splits the smallest larger block.
+//
+// Cycle accounting: the fast path (exact class hit) charges
+// Costs.HeapAllocFast; a split from a larger class charges a bit more; a
+// carve from the wilderness charges the slow path. This reproduces the
+// 100-300+ cycle band of Figure 11a.
+type TLSF struct {
+	arena Arena
+	mach  *machine.Machine
+
+	classes [48][]uintptr   // free lists per log2 size class
+	blocks  map[uintptr]int // allocated block -> usable size
+	freesz  map[uintptr]int // free block -> total size
+	brk     uintptr         // wilderness pointer
+	stats   AllocStats
+}
+
+// NewTLSF returns a TLSF allocator over the arena.
+func NewTLSF(arena Arena, m *machine.Machine) *TLSF {
+	return &TLSF{
+		arena:  arena,
+		mach:   m,
+		blocks: make(map[uintptr]int),
+		freesz: make(map[uintptr]int),
+		brk:    arena.Base,
+	}
+}
+
+func sizeClass(n uintptr) int {
+	if n <= allocAlign {
+		return 4
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Alloc implements Allocator.
+func (t *TLSF) Alloc(n int) (uintptr, error) {
+	if n <= 0 {
+		n = 1
+	}
+	need := alignUp(uintptr(n), allocAlign)
+	cls := sizeClass(need)
+
+	// Fast path: exact class has a free block.
+	if lst := t.classes[cls]; len(lst) > 0 {
+		addr := lst[len(lst)-1]
+		t.classes[cls] = lst[:len(lst)-1]
+		delete(t.freesz, addr)
+		t.mach.Charge(t.mach.Costs.HeapAllocFast)
+		t.finish(addr, n)
+		return addr, nil
+	}
+	// Medium path: split a larger free block.
+	for c := cls + 1; c < len(t.classes); c++ {
+		lst := t.classes[c]
+		if len(lst) == 0 {
+			continue
+		}
+		addr := lst[len(lst)-1]
+		t.classes[c] = lst[:len(lst)-1]
+		total := uintptr(t.freesz[addr])
+		delete(t.freesz, addr)
+		blockSz := uintptr(1) << uint(cls)
+		if rem := total - blockSz; rem >= allocAlign {
+			remAddr := addr + blockSz
+			t.insertFree(remAddr, int(rem))
+		}
+		t.mach.Charge(t.mach.Costs.HeapAllocFast + (t.mach.Costs.HeapAllocFast / 2))
+		t.finish(addr, n)
+		return addr, nil
+	}
+	// Slow path: carve from the wilderness.
+	blockSz := uintptr(1) << uint(cls)
+	if t.brk+blockSz > t.arena.Base+t.arena.Size {
+		return 0, ErrOutOfMemory
+	}
+	addr := t.brk
+	t.brk += blockSz
+	t.mach.Charge(t.mach.Costs.HeapAllocFast + t.mach.Costs.HeapAllocFast/4)
+	t.finish(addr, n)
+	return addr, nil
+}
+
+func (t *TLSF) finish(addr uintptr, n int) {
+	t.blocks[addr] = n
+	t.stats.Allocs++
+	t.stats.BytesLive += uint64(n)
+	if t.stats.BytesLive > t.stats.BytesPeak {
+		t.stats.BytesPeak = t.stats.BytesLive
+	}
+}
+
+func (t *TLSF) insertFree(addr uintptr, total int) {
+	cls := sizeClass(uintptr(total))
+	// Insert into the class whose blocks are guaranteed >= requested size:
+	// a block of `total` bytes serves class floor(log2(total)).
+	if uintptr(1)<<uint(cls) > uintptr(total) {
+		cls--
+	}
+	if cls < 0 {
+		return
+	}
+	t.classes[cls] = append(t.classes[cls], addr)
+	t.freesz[addr] = total
+}
+
+// Free implements Allocator.
+func (t *TLSF) Free(addr uintptr) error {
+	n, ok := t.blocks[addr]
+	if !ok {
+		return ErrBadFree
+	}
+	delete(t.blocks, addr)
+	total := alignUp(uintptr(n), allocAlign)
+	cls := sizeClass(total)
+	t.classes[cls] = append(t.classes[cls], addr)
+	t.freesz[addr] = int(uintptr(1) << uint(cls))
+	t.stats.Frees++
+	t.stats.BytesLive -= uint64(n)
+	t.mach.Charge(t.mach.Costs.HeapFree)
+	return nil
+}
+
+// SizeOf implements Allocator.
+func (t *TLSF) SizeOf(addr uintptr) (int, bool) {
+	n, ok := t.blocks[addr]
+	return n, ok
+}
+
+// Name implements Allocator.
+func (t *TLSF) Name() string { return "tlsf" }
+
+// Stats implements Allocator.
+func (t *TLSF) Stats() AllocStats { return t.stats }

@@ -1,0 +1,204 @@
+package netstack
+
+import (
+	"testing"
+
+	"flexos/internal/core"
+	"flexos/internal/isolation"
+	"flexos/internal/mem"
+	"flexos/internal/oslib"
+)
+
+func oneCompImage(t *testing.T) (*core.Image, *State) {
+	t.Helper()
+	cat := core.NewCatalog()
+	oslib.RegisterTCB(cat)
+	oslib.RegisterSched(cat)
+	st := Register(cat)
+	img, err := core.Build(cat, core.ImageSpec{
+		Mechanism: "none",
+		Comps: []core.CompSpec{{
+			Name: "c0",
+			Libs: []string{oslib.BootName, oslib.MMName, oslib.SchedName, Name},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, st
+}
+
+func splitImage(t *testing.T) (*core.Image, *State) {
+	t.Helper()
+	cat := core.NewCatalog()
+	oslib.RegisterTCB(cat)
+	oslib.RegisterSched(cat)
+	st := Register(cat)
+	// A tiny app component in its own compartment to drive the stack.
+	app := core.NewComponent("app")
+	app.AddFunc(&core.Func{Name: "main", Work: 1, EntryPoint: true})
+	cat.MustRegister(app)
+	img, err := core.Build(cat, core.ImageSpec{
+		Mechanism: "intel-mpk",
+		GateMode:  isolation.GateFull,
+		Sharing:   isolation.ShareDSS,
+		Comps: []core.CompSpec{
+			{Name: "sys", Libs: []string{oslib.BootName, oslib.MMName, oslib.SchedName, Name}},
+			{Name: "app", Libs: []string{"app"}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, st
+}
+
+func TestSocketAndEnqueueRecv(t *testing.T) {
+	img, st := oneCompImage(t)
+	ctx, _ := img.NewContext("t", Name)
+	v, err := ctx.Call(Name, "socket")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock := v.(int)
+	if _, err := ctx.Call(Name, "rx_enqueue", sock, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := ctx.Call(Name, "pending", sock); p != 1 {
+		t.Fatalf("pending = %v", p)
+	}
+	buf, _ := ctx.AllocPrivate(16)
+	n, err := ctx.Call(Name, "recv", sock, buf, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("recv = %v bytes", n)
+	}
+	out := make([]byte, 5)
+	ctx.Read(buf, out)
+	if string(out) != "hello" {
+		t.Fatalf("payload = %q", out)
+	}
+	if st.RxBytes() != 5 {
+		t.Fatalf("rx bytes = %d", st.RxBytes())
+	}
+}
+
+func TestRecvEmptyQueueReturnsZero(t *testing.T) {
+	img, _ := oneCompImage(t)
+	ctx, _ := img.NewContext("t", Name)
+	v, _ := ctx.Call(Name, "socket")
+	buf, _ := ctx.AllocPrivate(16)
+	n, err := ctx.Call(Name, "recv", v.(int), buf, 16)
+	if err != nil || n != 0 {
+		t.Fatalf("recv on empty queue = %v, %v", n, err)
+	}
+}
+
+func TestPartialRecvKeepsRemainder(t *testing.T) {
+	img, _ := oneCompImage(t)
+	ctx, _ := img.NewContext("t", Name)
+	v, _ := ctx.Call(Name, "socket")
+	sock := v.(int)
+	ctx.Call(Name, "rx_enqueue", sock, []byte("abcdefgh"))
+	buf, _ := ctx.AllocPrivate(4)
+	n, err := ctx.Call(Name, "recv", sock, buf, 4)
+	if err != nil || n != 4 {
+		t.Fatalf("first recv = %v, %v", n, err)
+	}
+	n, err = ctx.Call(Name, "recv", sock, buf, 4)
+	if err != nil || n != 4 {
+		t.Fatalf("second recv = %v, %v", n, err)
+	}
+	out := make([]byte, 4)
+	ctx.Read(buf, out)
+	if string(out) != "efgh" {
+		t.Fatalf("second chunk = %q", out)
+	}
+}
+
+func TestSendChargesAndCounts(t *testing.T) {
+	img, st := oneCompImage(t)
+	ctx, _ := img.NewContext("t", Name)
+	v, _ := ctx.Call(Name, "socket")
+	buf, _ := ctx.AllocPrivate(64)
+	ctx.Write(buf, make([]byte, 64))
+	cost := img.Mach.Clock.Span(func() {
+		if _, err := ctx.Call(Name, "send", v.(int), buf, 64); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if st.TxBytes() != 64 {
+		t.Fatalf("tx bytes = %d", st.TxBytes())
+	}
+	if cost < 64*ProcessPerByte {
+		t.Fatalf("send cost %d below per-byte work", cost)
+	}
+}
+
+func TestBadSocket(t *testing.T) {
+	img, _ := oneCompImage(t)
+	ctx, _ := img.NewContext("t", Name)
+	if _, err := ctx.Call(Name, "recv", 999, uintptr(0), 4); err == nil {
+		t.Fatal("bad socket accepted")
+	}
+	if _, err := ctx.Call(Name, "rx_enqueue", "x", []byte("y")); err == nil {
+		t.Fatal("bad descriptor type accepted")
+	}
+}
+
+func TestCrossCompartmentRecvNeedsSharedBuffer(t *testing.T) {
+	// The porting rule of §4.4: a private buffer passed across the
+	// compartment boundary crashes with a protection fault; annotating
+	// it (shared buffer) fixes it.
+	img, _ := splitImage(t)
+	ctx, err := img.NewContext("t", "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ctx.Call(Name, "socket")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock := v.(int)
+	if _, err := ctx.Call(Name, "rx_enqueue", sock, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Private app-heap buffer: the stack cannot write into it.
+	private, err := ctx.AllocPrivate(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ctx.Call(Name, "recv", sock, private, 16)
+	if !mem.IsFault(err, mem.FaultKeyViolation) {
+		t.Fatalf("recv into private buffer: got %v, want key violation", err)
+	}
+
+	// Re-enqueue (the failed recv consumed nothing) and use a shared
+	// buffer: works.
+	shared, err := ctx.AllocShared(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ctx.Call(Name, "recv", sock, shared, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("recv = %v", n)
+	}
+}
+
+func TestTable1SharedVars(t *testing.T) {
+	cat := core.NewCatalog()
+	Register(cat)
+	c, _ := cat.Lookup(Name)
+	if len(c.Shared) != 23 {
+		t.Fatalf("lwip shared vars = %d, want 23 (Table 1)", len(c.Shared))
+	}
+	if c.PatchAdd != 542 || c.PatchDel != 275 {
+		t.Fatalf("lwip patch = +%d/-%d", c.PatchAdd, c.PatchDel)
+	}
+}

@@ -1,0 +1,94 @@
+package oslib
+
+import (
+	"testing"
+
+	"flexos/internal/core"
+)
+
+func testImage(t *testing.T) (*core.Image, *SchedState) {
+	t.Helper()
+	cat := core.NewCatalog()
+	RegisterTCB(cat)
+	st := RegisterSched(cat)
+	img, err := core.Build(cat, core.ImageSpec{
+		Mechanism: "none",
+		Comps: []core.CompSpec{{
+			Name: "c0", Libs: []string{BootName, MMName, SchedName},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, st
+}
+
+func TestTCBFlags(t *testing.T) {
+	cat := core.NewCatalog()
+	RegisterTCB(cat)
+	RegisterSched(cat)
+	for _, name := range []string{BootName, MMName, SchedName} {
+		c, ok := cat.Lookup(name)
+		if !ok || !c.TCB {
+			t.Fatalf("%s must be registered as TCB", name)
+		}
+	}
+}
+
+func TestSchedSurfaceCounters(t *testing.T) {
+	img, st := testImage(t)
+	ctx, _ := img.NewContext("t", SchedName)
+	for i := 0; i < 3; i++ {
+		if _, err := ctx.Call(SchedName, "wake"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ctx.Call(SchedName, "block_poll"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.Call(SchedName, "timer_arm"); err != nil {
+		t.Fatal(err)
+	}
+	if st.Wakes() != 3 || st.Blocks() != 1 {
+		t.Fatalf("counters: %s", st)
+	}
+}
+
+func TestCurrentReturnsThreadID(t *testing.T) {
+	img, _ := testImage(t)
+	ctx, _ := img.NewContext("t", SchedName)
+	v, err := ctx.Call(SchedName, "current")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != ctx.Thread().ID {
+		t.Fatalf("current = %v, want %d", v, ctx.Thread().ID)
+	}
+}
+
+func TestYieldContextSwitches(t *testing.T) {
+	img, _ := testImage(t)
+	ctxA, _ := img.NewContext("a", SchedName)
+	if _, err := img.NewContext("b", SchedName); err != nil {
+		t.Fatal(err)
+	}
+	before := img.Sched.Switches()
+	if _, err := ctxA.Call(SchedName, "yield"); err != nil {
+		t.Fatal(err)
+	}
+	if img.Sched.Switches() != before+1 {
+		t.Fatal("yield did not context switch")
+	}
+}
+
+func TestSchedTable1Metadata(t *testing.T) {
+	cat := core.NewCatalog()
+	RegisterSched(cat)
+	c, _ := cat.Lookup(SchedName)
+	if len(c.Shared) != 5 {
+		t.Fatalf("uksched shared vars = %d, want 5 (Table 1)", len(c.Shared))
+	}
+	if c.PatchAdd != 48 || c.PatchDel != 8 {
+		t.Fatalf("uksched patch = +%d/-%d", c.PatchAdd, c.PatchDel)
+	}
+}

@@ -1,0 +1,182 @@
+// Package poset implements the partially ordered sets behind FlexOS'
+// design-space exploration (§5, "partial safety ordering"): nodes are
+// safety configurations, a directed edge means one configuration is
+// probabilistically at least as safe as another, and — given a
+// performance label per node and a minimum performance budget — the
+// "safest configurations under the budget" are the maximal elements of
+// the sub-poset meeting the budget.
+//
+// The package is generic: the exploration layer instantiates it with its
+// configuration descriptor, and tests instantiate it with integers.
+package poset
+
+import "fmt"
+
+// Poset is a finite partially ordered set over items of type T with
+// order relation leq ("less or equally safe"). leq must be reflexive,
+// antisymmetric (up to item identity) and transitive; BuildChecks can
+// verify a candidate relation on the given items.
+type Poset[T any] struct {
+	items []T
+	leq   func(a, b T) bool
+}
+
+// New builds a poset over items with the given order relation.
+func New[T any](items []T, leq func(a, b T) bool) *Poset[T] {
+	return &Poset[T]{items: items, leq: leq}
+}
+
+// Len returns the number of items.
+func (p *Poset[T]) Len() int { return len(p.items) }
+
+// Item returns the i-th item.
+func (p *Poset[T]) Item(i int) T { return p.items[i] }
+
+// Items returns the underlying slice (not a copy; do not mutate).
+func (p *Poset[T]) Items() []T { return p.items }
+
+// Leq reports whether item i is less-or-equally safe than item j.
+func (p *Poset[T]) Leq(i, j int) bool { return p.leq(p.items[i], p.items[j]) }
+
+// Comparable reports whether two items lie on a common path.
+func (p *Poset[T]) Comparable(i, j int) bool {
+	return p.Leq(i, j) || p.Leq(j, i)
+}
+
+// Edges returns the covering relation — the transitive reduction of the
+// order, i.e. the edges one would draw in the Hasse diagram / DAG of
+// Figure 5. An edge (i, j) means i < j with nothing in between.
+func (p *Poset[T]) Edges() [][2]int {
+	var edges [][2]int
+	n := len(p.items)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || !p.less(i, j) {
+				continue
+			}
+			covered := false
+			for k := 0; k < n && !covered; k++ {
+				if k != i && k != j && p.less(i, k) && p.less(k, j) {
+					covered = true
+				}
+			}
+			if !covered {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	return edges
+}
+
+// less is strict order: leq and not geq.
+func (p *Poset[T]) less(i, j int) bool {
+	return p.Leq(i, j) && !p.Leq(j, i)
+}
+
+// Maximal returns the indices of the maximal elements among the items
+// for which keep returns true — the sinks of the filtered DAG (the green
+// nodes of Figure 5, the stars of Figure 8).
+func (p *Poset[T]) Maximal(keep func(T) bool) []int {
+	var out []int
+	for i, it := range p.items {
+		if !keep(it) {
+			continue
+		}
+		dominated := false
+		for j, jt := range p.items {
+			if i == j || !keep(jt) {
+				continue
+			}
+			if p.less(i, j) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Minimal returns the indices of minimal elements (sources of the DAG).
+func (p *Poset[T]) Minimal() []int {
+	var out []int
+	for i := range p.items {
+		minimal := true
+		for j := range p.items {
+			if i != j && p.less(j, i) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Above returns the indices of all items strictly safer than i.
+func (p *Poset[T]) Above(i int) []int {
+	var out []int
+	for j := range p.items {
+		if j != i && p.less(i, j) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// TopoOrder returns the item indices in a topological order of the
+// safety DAG: less-safe items first. The exploration uses it to measure
+// in an order where monotonic pruning is sound.
+func (p *Poset[T]) TopoOrder() []int {
+	n := len(p.items)
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for _, e := range p.Edges() {
+		succ[e[0]] = append(succ[e[0]], e[1])
+		indeg[e[1]]++
+	}
+	var queue, order []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		order = append(order, i)
+		for _, j := range succ[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	return order
+}
+
+// CheckOrder verifies that leq is a partial order on the items:
+// reflexive, antisymmetric (by index), transitive. Intended for tests
+// and for validating custom safety relations.
+func (p *Poset[T]) CheckOrder() error {
+	n := len(p.items)
+	for i := 0; i < n; i++ {
+		if !p.Leq(i, i) {
+			return fmt.Errorf("poset: leq not reflexive at %d", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if p.Leq(i, j) && p.Leq(j, k) && !p.Leq(i, k) {
+					return fmt.Errorf("poset: leq not transitive at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+	return nil
+}

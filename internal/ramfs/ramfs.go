@@ -1,0 +1,205 @@
+// Package ramfs implements the in-memory filesystem node store — the
+// Unikraft ramfs analogue. Table 1 ports it together with vfscore
+// (+148/-37, 12 shared variables between them), and §4.4 uses the pair as
+// the canonical example of entangled components that should be isolated
+// *together*: ramfs node state is reached directly by vfscore on every
+// operation, so splitting them would either fault or force most of the
+// state into the shared domain.
+//
+// File contents live in the component's private simulated heap, so any
+// access from a foreign compartment that has not gone through a gate
+// faults — which is how the test suite demonstrates the entanglement.
+package ramfs
+
+import (
+	"fmt"
+
+	"flexos/internal/core"
+)
+
+// Name is the component name used in configuration files.
+const Name = "ramfs"
+
+// Per-op base costs (cycles).
+const (
+	nodeWork  = 20
+	growQuant = 512
+)
+
+// node is one file's metadata; content bytes live in simulated memory.
+type node struct {
+	id    int
+	size  int
+	cap   int
+	addr  uintptr
+	mtime uint64
+}
+
+// State is the per-image ramfs state.
+type State struct {
+	nodes  map[int]*node
+	nextID int
+}
+
+// Register adds the ramfs component to the catalog.
+func Register(cat *core.Catalog) *State {
+	st := &State{nodes: make(map[int]*node)}
+	c := core.NewComponent(Name)
+	// Table 1 groups ramfs with vfscore; patch metadata lives on vfscore.
+
+	// create() allocates a node and returns its id.
+	c.AddFunc(&core.Func{
+		Name: "create", Work: nodeWork, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			st.nextID++
+			n := &node{id: st.nextID}
+			st.nodes[n.id] = n
+			return n.id, nil
+		},
+	})
+
+	// write_node(id, off, srcAddr, n, mtime) copies caller bytes into
+	// the node, growing its private buffer as needed.
+	c.AddFunc(&core.Func{
+		Name: "write_node", Work: nodeWork, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			if len(args) != 5 {
+				return nil, fmt.Errorf("ramfs: write_node(id, off, src, n, mtime)")
+			}
+			n, err := st.lookup(args[0])
+			if err != nil {
+				return nil, err
+			}
+			off := args[1].(int)
+			src := args[2].(uintptr)
+			cnt := args[3].(int)
+			mtime := args[4].(uint64)
+			if err := st.ensure(ctx, n, off+cnt); err != nil {
+				return nil, err
+			}
+			if err := ctx.Memmove(n.addr+uintptr(off), src, cnt); err != nil {
+				return nil, err
+			}
+			if off+cnt > n.size {
+				n.size = off + cnt
+			}
+			n.mtime = mtime
+			return cnt, nil
+		},
+	})
+
+	// read_node(id, off, dstAddr, n) copies node bytes out.
+	c.AddFunc(&core.Func{
+		Name: "read_node", Work: nodeWork, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			if len(args) != 4 {
+				return nil, fmt.Errorf("ramfs: read_node(id, off, dst, n)")
+			}
+			n, err := st.lookup(args[0])
+			if err != nil {
+				return nil, err
+			}
+			off := args[1].(int)
+			dst := args[2].(uintptr)
+			cnt := args[3].(int)
+			if off >= n.size {
+				return 0, nil
+			}
+			if off+cnt > n.size {
+				cnt = n.size - off
+			}
+			if err := ctx.Memmove(dst, n.addr+uintptr(off), cnt); err != nil {
+				return nil, err
+			}
+			return cnt, nil
+		},
+	})
+
+	// truncate(id) drops the node's content.
+	c.AddFunc(&core.Func{
+		Name: "truncate", Work: nodeWork, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			n, err := st.lookup(args[0])
+			if err != nil {
+				return nil, err
+			}
+			n.size = 0
+			return nil, nil
+		},
+	})
+
+	// remove(id) deletes the node and frees its buffer.
+	c.AddFunc(&core.Func{
+		Name: "remove", Work: nodeWork, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			n, err := st.lookup(args[0])
+			if err != nil {
+				return nil, err
+			}
+			if n.addr != 0 {
+				if err := ctx.FreePrivate(n.addr); err != nil {
+					return nil, err
+				}
+			}
+			delete(st.nodes, n.id)
+			return nil, nil
+		},
+	})
+
+	// node_size(id) returns the current size.
+	c.AddFunc(&core.Func{
+		Name: "node_size", Work: 12, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			n, err := st.lookup(args[0])
+			if err != nil {
+				return nil, err
+			}
+			return n.size, nil
+		},
+	})
+	cat.MustRegister(c)
+	return st
+}
+
+func (st *State) lookup(arg any) (*node, error) {
+	id, ok := arg.(int)
+	if !ok {
+		return nil, fmt.Errorf("ramfs: node id must be int")
+	}
+	n, ok := st.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("ramfs: no node %d", id)
+	}
+	return n, nil
+}
+
+// ensure grows a node's private buffer to at least want bytes.
+func (st *State) ensure(ctx *core.Ctx, n *node, want int) error {
+	if want <= n.cap {
+		return nil
+	}
+	newCap := n.cap
+	if newCap == 0 {
+		newCap = growQuant
+	}
+	for newCap < want {
+		newCap *= 2
+	}
+	addr, err := ctx.AllocPrivate(newCap)
+	if err != nil {
+		return err
+	}
+	if n.addr != 0 {
+		if err := ctx.Memmove(addr, n.addr, n.size); err != nil {
+			return err
+		}
+		if err := ctx.FreePrivate(n.addr); err != nil {
+			return err
+		}
+	}
+	n.addr, n.cap = addr, newCap
+	return nil
+}
+
+// Nodes returns the live node count (test hook).
+func (st *State) Nodes() int { return len(st.nodes) }

@@ -1,0 +1,120 @@
+package ramfs
+
+import (
+	"testing"
+
+	"flexos/internal/core"
+	"flexos/internal/oslib"
+)
+
+func testImage(t *testing.T) (*core.Image, *State) {
+	t.Helper()
+	cat := core.NewCatalog()
+	oslib.RegisterTCB(cat)
+	st := Register(cat)
+	img, err := core.Build(cat, core.ImageSpec{
+		Mechanism: "none",
+		Comps: []core.CompSpec{{
+			Name: "c0", Libs: []string{oslib.BootName, oslib.MMName, Name},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, st
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	img, st := testImage(t)
+	ctx, _ := img.NewContext("t", Name)
+	v, err := ctx.Call(Name, "create")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := v.(int)
+	src, _ := ctx.AllocPrivate(16)
+	ctx.Write(src, []byte("filesystem data!"))
+	if _, err := ctx.Call(Name, "write_node", id, 0, src, 16, uint64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := ctx.Call(Name, "node_size", id); sz != 16 {
+		t.Fatalf("size = %v", sz)
+	}
+	dst, _ := ctx.AllocPrivate(16)
+	n, err := ctx.Call(Name, "read_node", id, 0, dst, 16)
+	if err != nil || n != 16 {
+		t.Fatalf("read = %v, %v", n, err)
+	}
+	out := make([]byte, 16)
+	ctx.Read(dst, out)
+	if string(out) != "filesystem data!" {
+		t.Fatalf("content = %q", out)
+	}
+	if st.Nodes() != 1 {
+		t.Fatalf("nodes = %d", st.Nodes())
+	}
+}
+
+func TestWriteGrowsBuffer(t *testing.T) {
+	img, _ := testImage(t)
+	ctx, _ := img.NewContext("t", Name)
+	v, _ := ctx.Call(Name, "create")
+	id := v.(int)
+	src, _ := ctx.AllocPrivate(64)
+	// Write well past the initial 512-byte quantum.
+	for off := 0; off < 4096; off += 64 {
+		if _, err := ctx.Call(Name, "write_node", id, off, src, 64, uint64(off)); err != nil {
+			t.Fatalf("write at %d: %v", off, err)
+		}
+	}
+	if sz, _ := ctx.Call(Name, "node_size", id); sz != 4096 {
+		t.Fatalf("size = %v, want 4096", sz)
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	img, _ := testImage(t)
+	ctx, _ := img.NewContext("t", Name)
+	v, _ := ctx.Call(Name, "create")
+	id := v.(int)
+	dst, _ := ctx.AllocPrivate(8)
+	n, err := ctx.Call(Name, "read_node", id, 100, dst, 8)
+	if err != nil || n != 0 {
+		t.Fatalf("read past EOF = %v, %v", n, err)
+	}
+}
+
+func TestTruncateAndRemove(t *testing.T) {
+	img, st := testImage(t)
+	ctx, _ := img.NewContext("t", Name)
+	v, _ := ctx.Call(Name, "create")
+	id := v.(int)
+	src, _ := ctx.AllocPrivate(8)
+	ctx.Call(Name, "write_node", id, 0, src, 8, uint64(1))
+	if _, err := ctx.Call(Name, "truncate", id); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := ctx.Call(Name, "node_size", id); sz != 0 {
+		t.Fatalf("size after truncate = %v", sz)
+	}
+	if _, err := ctx.Call(Name, "remove", id); err != nil {
+		t.Fatal(err)
+	}
+	if st.Nodes() != 0 {
+		t.Fatal("node survived remove")
+	}
+	if _, err := ctx.Call(Name, "node_size", id); err == nil {
+		t.Fatal("removed node still accessible")
+	}
+}
+
+func TestBadNodeID(t *testing.T) {
+	img, _ := testImage(t)
+	ctx, _ := img.NewContext("t", Name)
+	if _, err := ctx.Call(Name, "node_size", 42); err == nil {
+		t.Fatal("bad node id accepted")
+	}
+	if _, err := ctx.Call(Name, "write_node", "x", 0, uintptr(0), 1, uint64(0)); err == nil {
+		t.Fatal("bad id type accepted")
+	}
+}

@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"fmt"
+
+	"flexos/internal/machine"
+	"flexos/internal/mem"
+)
+
+// Thread is a schedulable context. Its PKRU field models the per-thread
+// protection-key register; isolation backends keep it in sync with the
+// compartment the thread currently executes in via gates and hooks.
+type Thread struct {
+	ID   int
+	Name string
+
+	// PKRU is the thread's current protection-domain register.
+	PKRU mem.PKRU
+	// Comp is the compartment the thread is currently executing in.
+	Comp CompID
+
+	// Regs models the thread's scratch register file. Full-safety gates
+	// save and zero it on domain transitions so that no stale values leak
+	// between compartments; the light MPK gate deliberately does not
+	// (§4.1), which tests exercise.
+	Regs [8]uint64
+
+	// stacks is this thread's slice of the per-compartment stack
+	// registries: one call stack per compartment the thread may enter.
+	stacks map[CompID]*Stack
+
+	runnable bool
+}
+
+// Stack returns the thread's stack for the given compartment, or nil.
+func (t *Thread) Stack(c CompID) *Stack { return t.stacks[c] }
+
+// SetStack registers a per-compartment stack for this thread.
+func (t *Thread) SetStack(c CompID, s *Stack) {
+	if t.stacks == nil {
+		t.stacks = make(map[CompID]*Stack)
+	}
+	t.stacks[c] = s
+}
+
+// Stacks returns the number of registered stacks (test/layout hook).
+func (t *Thread) Stacks() int { return len(t.stacks) }
+
+// Hooks is the kernel backend hook API (§3.2): core libraries expose
+// hooks that isolation backends implement, so that supporting a new
+// mechanism never requires redesigning the scheduler. The MPK backend, for
+// example, uses ThreadCreated to switch a newly created thread to the
+// right protection domain, and ThreadSwitch to swap PKRU images.
+type Hooks interface {
+	// ThreadCreated runs when a thread is spawned, before it first runs.
+	ThreadCreated(t *Thread)
+	// ThreadSwitch runs on every context switch.
+	ThreadSwitch(from, to *Thread)
+}
+
+// Scheduler is a cooperative round-robin scheduler, mirroring Unikraft's
+// uksched. It lives in the TCB.
+type Scheduler struct {
+	mach    *machine.Machine
+	hooks   []Hooks
+	threads []*Thread
+	runq    []*Thread
+	current *Thread
+	nextID  int
+
+	switches uint64
+	spawned  uint64
+}
+
+// New returns a scheduler charging the given machine.
+func New(m *machine.Machine) *Scheduler {
+	return &Scheduler{mach: m}
+}
+
+// RegisterHooks attaches backend hooks. Multiple backends may register
+// (e.g. an isolation backend plus an instrumentation hook in tests).
+func (s *Scheduler) RegisterHooks(h Hooks) { s.hooks = append(s.hooks, h) }
+
+// Spawn creates a new thread starting in compartment comp. Backend hooks
+// run synchronously, like the build-time-inlined hook calls in the paper.
+func (s *Scheduler) Spawn(name string, comp CompID) *Thread {
+	t := &Thread{ID: s.nextID, Name: name, Comp: comp, runnable: true}
+	s.nextID++
+	s.threads = append(s.threads, t)
+	s.runq = append(s.runq, t)
+	for _, h := range s.hooks {
+		h.ThreadCreated(t)
+	}
+	s.spawned++
+	if s.current == nil {
+		s.current = t
+		s.dequeue(t)
+	}
+	return t
+}
+
+func (s *Scheduler) dequeue(t *Thread) {
+	for i, q := range s.runq {
+		if q == t {
+			s.runq = append(s.runq[:i], s.runq[i+1:]...)
+			return
+		}
+	}
+}
+
+// Current returns the running thread (nil before the first Spawn).
+func (s *Scheduler) Current() *Thread { return s.current }
+
+// Yield performs a cooperative context switch to the next runnable thread,
+// charging the context-switch cost and invoking backend hooks. If no other
+// thread is runnable it is a no-op.
+func (s *Scheduler) Yield() {
+	if len(s.runq) == 0 {
+		return
+	}
+	next := s.runq[0]
+	s.runq = s.runq[1:]
+	prev := s.current
+	if prev != nil && prev.runnable {
+		s.runq = append(s.runq, prev)
+	}
+	s.current = next
+	s.switches++
+	s.mach.Charge(s.mach.Costs.ContextSwitch)
+	for _, h := range s.hooks {
+		h.ThreadSwitch(prev, next)
+	}
+}
+
+// Block marks the current thread unrunnable and yields. Wake makes a
+// thread runnable again. These are used by the EPT backend's RPC server
+// thread pools.
+func (s *Scheduler) Block() {
+	if s.current != nil {
+		s.current.runnable = false
+	}
+	s.Yield()
+}
+
+// Wake marks t runnable and enqueues it.
+func (s *Scheduler) Wake(t *Thread) {
+	if t.runnable {
+		return
+	}
+	t.runnable = true
+	s.runq = append(s.runq, t)
+}
+
+// Switches returns the number of context switches performed.
+func (s *Scheduler) Switches() uint64 { return s.switches }
+
+// Threads returns the number of threads ever spawned.
+func (s *Scheduler) Threads() int { return len(s.threads) }
+
+// String implements fmt.Stringer.
+func (s *Scheduler) String() string {
+	cur := "<none>"
+	if s.current != nil {
+		cur = s.current.Name
+	}
+	return fmt.Sprintf("sched{threads=%d runnable=%d current=%s switches=%d}",
+		len(s.threads), len(s.runq), cur, s.switches)
+}

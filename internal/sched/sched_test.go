@@ -1,0 +1,284 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flexos/internal/machine"
+	"flexos/internal/mem"
+)
+
+func testEnv(t *testing.T) (*machine.Machine, *mem.AddrSpace) {
+	t.Helper()
+	m := machine.New(machine.CostModel{})
+	return m, mem.NewAddrSpace("sys", 64*mem.PageSize, m)
+}
+
+type recordingHooks struct {
+	created  []int
+	switches int
+}
+
+func (r *recordingHooks) ThreadCreated(t *Thread)   { r.created = append(r.created, t.ID) }
+func (r *recordingHooks) ThreadSwitch(_, _ *Thread) { r.switches++ }
+
+func TestSpawnRunsHooksAndSetsCurrent(t *testing.T) {
+	m, _ := testEnv(t)
+	s := New(m)
+	h := &recordingHooks{}
+	s.RegisterHooks(h)
+	t0 := s.Spawn("main", 0)
+	if s.Current() != t0 {
+		t.Fatal("first spawned thread must become current")
+	}
+	t1 := s.Spawn("worker", 1)
+	if len(h.created) != 2 || h.created[0] != t0.ID || h.created[1] != t1.ID {
+		t.Fatalf("hook creations = %v", h.created)
+	}
+	if t1.Comp != 1 {
+		t.Fatalf("thread comp = %d, want 1", t1.Comp)
+	}
+}
+
+func TestYieldRoundRobin(t *testing.T) {
+	m, _ := testEnv(t)
+	s := New(m)
+	a := s.Spawn("a", 0)
+	b := s.Spawn("b", 0)
+	c := s.Spawn("c", 0)
+	order := []*Thread{}
+	for i := 0; i < 6; i++ {
+		s.Yield()
+		order = append(order, s.Current())
+	}
+	want := []*Thread{b, c, a, b, c, a}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("yield order[%d] = %s, want %s", i, order[i].Name, want[i].Name)
+		}
+	}
+	if s.Switches() != 6 {
+		t.Fatalf("switches = %d, want 6", s.Switches())
+	}
+}
+
+func TestYieldChargesContextSwitch(t *testing.T) {
+	m, _ := testEnv(t)
+	s := New(m)
+	s.Spawn("a", 0)
+	s.Spawn("b", 0)
+	cost := m.Clock.Span(func() { s.Yield() })
+	if cost != m.Costs.ContextSwitch {
+		t.Fatalf("yield cost = %d, want %d", cost, m.Costs.ContextSwitch)
+	}
+}
+
+func TestBlockWake(t *testing.T) {
+	m, _ := testEnv(t)
+	s := New(m)
+	a := s.Spawn("a", 0)
+	b := s.Spawn("b", 0)
+	s.Block() // a blocks, b runs
+	if s.Current() != b {
+		t.Fatal("blocking a should schedule b")
+	}
+	s.Yield() // only b runnable
+	if s.Current() != b {
+		t.Fatal("blocked thread must not be scheduled")
+	}
+	s.Wake(a)
+	s.Wake(a) // idempotent
+	s.Yield()
+	if s.Current() != a {
+		t.Fatal("woken thread should run")
+	}
+}
+
+func TestYieldWithoutThreadsIsNoop(t *testing.T) {
+	m, _ := testEnv(t)
+	s := New(m)
+	s.Yield()
+	if s.Current() != nil {
+		t.Fatal("no threads, no current")
+	}
+}
+
+func TestStackRegistry(t *testing.T) {
+	m, as := testEnv(t)
+	s := New(m)
+	th := s.Spawn("t", 0)
+	st0 := NewStack(as, 0, 8*mem.PageSize, false, m)
+	st1 := NewStack(as, 16*mem.PageSize, 8*mem.PageSize, false, m)
+	th.SetStack(0, st0)
+	th.SetStack(1, st1)
+	if th.Stack(0) != st0 || th.Stack(1) != st1 {
+		t.Fatal("stack registry lookup failed")
+	}
+	if th.Stack(7) != nil {
+		t.Fatal("unknown compartment should have no stack")
+	}
+	if th.Stacks() != 2 {
+		t.Fatalf("Stacks() = %d, want 2", th.Stacks())
+	}
+}
+
+func TestStackAllocLocal(t *testing.T) {
+	m, as := testEnv(t)
+	st := NewStack(as, 0, 4*mem.PageSize, false, m)
+	if err := st.PushFrame(mem.PKRUAllowAll, false); err != nil {
+		t.Fatal(err)
+	}
+	a1, err := st.AllocLocal(16, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := st.AllocLocal(16, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 >= a1 {
+		t.Fatal("stack must grow downward")
+	}
+	if err := st.PopFrame(mem.PKRUAllowAll); err != nil {
+		t.Fatal(err)
+	}
+	if st.SP() != 4*mem.PageSize {
+		t.Fatal("PopFrame must restore SP")
+	}
+}
+
+func TestStackAllocLocalConstantCost(t *testing.T) {
+	// Fig. 11a: stack (and DSS) allocations cost a constant 2 cycles.
+	m, as := testEnv(t)
+	st := NewStack(as, 0, 4*mem.PageSize, true, m)
+	st.PushFrame(mem.PKRUAllowAll, false)
+	c1 := m.Clock.Span(func() { st.AllocLocal(1, false) })
+	c2 := m.Clock.Span(func() { st.AllocLocal(1, true) })
+	if c1 != m.Costs.StackAlloc || c2 != m.Costs.StackAlloc {
+		t.Fatalf("stack alloc costs = %d/%d, want %d", c1, c2, m.Costs.StackAlloc)
+	}
+}
+
+func TestDSSShadowAddress(t *testing.T) {
+	m, as := testEnv(t)
+	size := uintptr(4 * mem.PageSize)
+	st := NewStack(as, 0, size, true, m)
+	st.PushFrame(mem.PKRUAllowAll, false)
+	shadow, err := st.AllocLocal(8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shadow of x is &x + STACK_SIZE (Fig. 4).
+	if shadow != st.SP()+size {
+		t.Fatalf("shadow = %#x, want sp+size = %#x", shadow, st.SP()+size)
+	}
+	base, length := st.Region()
+	if base != 0 || length != 2*size {
+		t.Fatalf("DSS region = (%#x,%#x), want (0,%#x)", base, length, 2*size)
+	}
+}
+
+func TestSharedLocalWithoutDSSFails(t *testing.T) {
+	m, as := testEnv(t)
+	st := NewStack(as, 0, 4*mem.PageSize, false, m)
+	st.PushFrame(mem.PKRUAllowAll, false)
+	if _, err := st.AllocLocal(8, true); err == nil {
+		t.Fatal("shared stack variable without DSS must be rejected")
+	}
+}
+
+func TestStackOverflowDetected(t *testing.T) {
+	m, as := testEnv(t)
+	st := NewStack(as, 0, mem.PageSize, false, m)
+	st.PushFrame(mem.PKRUAllowAll, false)
+	if _, err := st.AllocLocal(2*mem.PageSize, false); err == nil {
+		t.Fatal("stack overflow not detected")
+	}
+}
+
+func TestCanaryDetectsSmash(t *testing.T) {
+	m, as := testEnv(t)
+	st := NewStack(as, 0, 4*mem.PageSize, false, m)
+	if err := st.PushFrame(mem.PKRUAllowAll, true); err != nil {
+		t.Fatal(err)
+	}
+	// Clean pop succeeds.
+	if err := st.PopFrame(mem.PKRUAllowAll); err != nil {
+		t.Fatalf("clean pop: %v", err)
+	}
+	// Smashed canary faults.
+	st.PushFrame(mem.PKRUAllowAll, true)
+	if err := as.WriteUint64(mem.PKRUAllowAll, st.SP(), 0x41414141); err != nil {
+		t.Fatal(err)
+	}
+	err := st.PopFrame(mem.PKRUAllowAll)
+	if !mem.IsFault(err, mem.FaultStackSmash) {
+		t.Fatalf("smashed canary: got %v, want stack-smash fault", err)
+	}
+}
+
+func TestPopFrameWithoutPush(t *testing.T) {
+	m, as := testEnv(t)
+	st := NewStack(as, 0, mem.PageSize, false, m)
+	if err := st.PopFrame(mem.PKRUAllowAll); err == nil {
+		t.Fatal("pop without push must fail")
+	}
+	_ = m
+}
+
+// Property: any push/alloc/pop sequence restores SP to the top.
+func TestStackBalancedProperty(t *testing.T) {
+	m, as := testEnv(t)
+	f := func(allocs []uint8) bool {
+		st := NewStack(as, 0, 16*mem.PageSize, false, m)
+		if st.PushFrame(mem.PKRUAllowAll, false) != nil {
+			return false
+		}
+		for _, a := range allocs {
+			if _, err := st.AllocLocal(int(a)+1, false); err != nil {
+				return false
+			}
+		}
+		if st.PopFrame(mem.PKRUAllowAll) != nil {
+			return false
+		}
+		return st.SP() == 16*mem.PageSize && st.Depth() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDSSCompatibleWithStackProtector(t *testing.T) {
+	// §4.1: "The DSS mechanism ... is compatible with common stack
+	// protection mechanisms" — canaries live in the private half,
+	// shadows in the DSS half, and neither interferes with the other.
+	m, as := testEnv(t)
+	size := uintptr(4 * mem.PageSize)
+	st := NewStack(as, 0, size, true, m)
+	if err := st.PushFrame(mem.PKRUAllowAll, true); err != nil {
+		t.Fatal(err)
+	}
+	shadow, err := st.AllocLocal(8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writing the shadow variable must not disturb the canary.
+	if err := as.WriteUint64(mem.PKRUAllowAll, shadow, 0x1122334455667788); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PopFrame(mem.PKRUAllowAll); err != nil {
+		t.Fatalf("canary tripped by DSS write: %v", err)
+	}
+	// But smashing the private half still trips it.
+	st.PushFrame(mem.PKRUAllowAll, true)
+	if _, err := st.AllocLocal(8, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.WriteUint64(mem.PKRUAllowAll, st.SP()+8, 0x41414141); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PopFrame(mem.PKRUAllowAll); !mem.IsFault(err, mem.FaultStackSmash) {
+		t.Fatalf("smash under DSS: got %v, want stack-smash fault", err)
+	}
+}

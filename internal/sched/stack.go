@@ -1,0 +1,142 @@
+// Package sched implements FlexOS-Go's cooperative scheduler — the
+// analogue of Unikraft's uksched micro-library, which the paper places in
+// the trusted computing base and ports with 5 shared variables (Table 1).
+//
+// It provides:
+//
+//   - threads with a per-thread protection-domain register (PKRU image)
+//     maintained by the isolation backend through the hook API;
+//   - the per-compartment *stack registry* of §4.1 (each compartment maps
+//     threads to their local compartment stack, so full MPK gates can
+//     switch call stacks quickly);
+//   - Data Shadow Stacks (§4.1, Fig. 4): each stack may be doubled, the
+//     upper half living in the shared protection domain, so that the
+//     shadow of a stack variable x is &x + StackSize;
+//   - stack-protector canaries, checked on frame pop when the owning
+//     compartment enables the "stackprotector" hardening.
+package sched
+
+import (
+	"fmt"
+
+	"flexos/internal/machine"
+	"flexos/internal/mem"
+)
+
+// CompID identifies a compartment. Compartment 0 always exists and is the
+// default compartment (where the TCB lives).
+type CompID int
+
+// StackCanary is the value the stack protector writes below each frame.
+const StackCanary uint64 = 0xDEAD60A7F1EE705
+
+// Stack is one thread-compartment call stack inside a simulated address
+// space. The stack occupies [Base, Base+Size) and grows downward. When
+// DSS is enabled the region [Base+Size, Base+2*Size) is its Data Shadow
+// Stack, placed in the shared domain by the image builder.
+type Stack struct {
+	AS   *mem.AddrSpace
+	Base uintptr
+	Size uintptr
+	DSS  bool
+
+	sp     uintptr // current stack pointer (offset into AS)
+	frames []frame
+	mach   *machine.Machine
+}
+
+type frame struct {
+	savedSP    uintptr
+	canaryAddr uintptr
+	canary     bool
+}
+
+// NewStack creates a stack over the given region. The caller (the image
+// builder) is responsible for keying the region: the lower half to the
+// compartment's key, the DSS half to the shared key.
+func NewStack(as *mem.AddrSpace, base, size uintptr, dss bool, m *machine.Machine) *Stack {
+	return &Stack{AS: as, Base: base, Size: size, DSS: dss, sp: base + size, mach: m}
+}
+
+// Region returns the full footprint of the stack including its DSS half.
+func (s *Stack) Region() (base, length uintptr) {
+	if s.DSS {
+		return s.Base, 2 * s.Size
+	}
+	return s.Base, s.Size
+}
+
+// SP returns the current simulated stack pointer.
+func (s *Stack) SP() uintptr { return s.sp }
+
+// PushFrame opens a new call frame. If canary is true a stack-protector
+// canary is written under PKRU pkru and verified at PopFrame.
+func (s *Stack) PushFrame(pkru mem.PKRU, canary bool) error {
+	f := frame{savedSP: s.sp}
+	if canary {
+		s.sp -= 8
+		f.canaryAddr = s.sp
+		f.canary = true
+		if err := s.AS.WriteUint64(pkru, f.canaryAddr, StackCanary); err != nil {
+			return err
+		}
+	}
+	s.frames = append(s.frames, f)
+	return nil
+}
+
+// AllocLocal reserves n bytes of the current frame for a local variable
+// and returns its address. Shared locals on a DSS stack return the
+// *shadow* address (&x + Size), which the builder has keyed into the
+// shared domain — exactly the paper's source transformation
+// `*(&var + STACK_SIZE)`.
+//
+// Cost: one stack-bump (Fig. 11a: constant 2 cycles), regardless of
+// sharing, which is the DSS's whole point.
+func (s *Stack) AllocLocal(n int, shared bool) (uintptr, error) {
+	if len(s.frames) == 0 {
+		return 0, fmt.Errorf("sched: AllocLocal outside any frame")
+	}
+	need := uintptr(n)
+	if need%8 != 0 {
+		need += 8 - need%8
+	}
+	if need > s.sp-s.Base {
+		return 0, fmt.Errorf("sched: stack overflow (%d bytes requested)", n)
+	}
+	s.sp -= need
+	s.mach.Charge(s.mach.Costs.StackAlloc)
+	addr := s.sp
+	if shared {
+		if !s.DSS {
+			return 0, fmt.Errorf("sched: shared stack variable without DSS; use heap conversion or a shared stack")
+		}
+		return addr + s.Size, nil
+	}
+	return addr, nil
+}
+
+// PopFrame closes the innermost frame, restoring the stack pointer. If the
+// frame carries a canary it is verified; a mismatch returns a
+// FaultStackSmash, modeling __stack_chk_fail.
+func (s *Stack) PopFrame(pkru mem.PKRU) error {
+	if len(s.frames) == 0 {
+		return fmt.Errorf("sched: PopFrame with no open frame")
+	}
+	f := s.frames[len(s.frames)-1]
+	s.frames = s.frames[:len(s.frames)-1]
+	if f.canary {
+		v, err := s.AS.ReadUint64(pkru, f.canaryAddr)
+		if err != nil {
+			return err
+		}
+		if v != StackCanary {
+			return &mem.Fault{Kind: mem.FaultStackSmash, Addr: f.canaryAddr, Len: 8, Space: s.AS.Name()}
+		}
+	}
+	s.sp = f.savedSP
+	return nil
+}
+
+// Depth returns the number of open frames (test hook).
+func (s *Stack) Depth() int { return len(s.frames) }

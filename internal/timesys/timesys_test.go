@@ -1,0 +1,79 @@
+package timesys
+
+import (
+	"testing"
+
+	"flexos/internal/core"
+	"flexos/internal/oslib"
+)
+
+func testImage(t *testing.T) (*core.Image, *State) {
+	t.Helper()
+	cat := core.NewCatalog()
+	oslib.RegisterTCB(cat)
+	st := Register(cat)
+	img, err := core.Build(cat, core.ImageSpec{
+		Mechanism: "none",
+		Comps: []core.CompSpec{{
+			Name: "c0", Libs: []string{oslib.BootName, oslib.MMName, Name},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, st
+}
+
+func TestNowMonotonic(t *testing.T) {
+	img, st := testImage(t)
+	ctx, err := img.NewContext("t", Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := ctx.Call(Name, "now")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := ctx.Call(Name, "now")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.(uint64) <= v1.(uint64) {
+		t.Fatalf("clock not monotonic: %v then %v", v1, v2)
+	}
+	if st.Ticks() != 2 {
+		t.Fatalf("ticks = %d, want 2", st.Ticks())
+	}
+}
+
+func TestMonotonicDoesNotAdvance(t *testing.T) {
+	img, st := testImage(t)
+	ctx, _ := img.NewContext("t", Name)
+	ctx.Call(Name, "now")
+	before := st.Ticks()
+	v, err := ctx.Call(Name, "monotonic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(uint64) != before || st.Ticks() != before {
+		t.Fatal("monotonic read must not advance the clocksource")
+	}
+}
+
+func TestNowChargesCycles(t *testing.T) {
+	img, _ := testImage(t)
+	ctx, _ := img.NewContext("t", Name)
+	cost := img.Mach.Clock.Span(func() { ctx.Call(Name, "now") })
+	if cost < nowWork {
+		t.Fatalf("now cost = %d, want >= %d", cost, nowWork)
+	}
+}
+
+func TestTableOneMetadata(t *testing.T) {
+	cat := core.NewCatalog()
+	Register(cat)
+	c, _ := cat.Lookup(Name)
+	if c.PatchAdd != 10 || c.PatchDel != 9 || len(c.Shared) != 0 {
+		t.Fatalf("Table 1 metadata = +%d/-%d, %d shared vars", c.PatchAdd, c.PatchDel, len(c.Shared))
+	}
+}

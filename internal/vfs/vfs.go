@@ -1,0 +1,254 @@
+// Package vfs implements the vfscore analogue: FlexOS-Go's virtual
+// filesystem switch. It owns the path namespace and file descriptors and
+// delegates node storage to ramfs — the entangled pair §4.4 isolates
+// together (Table 1: +148/-37 lines, 12 shared variables for the two).
+//
+// Every operation timestamps through the uktime component, which is why
+// the paper's SQLite MPK3 scenario (filesystem / time subsystem / rest)
+// pays gates on both edges of the hot path.
+package vfs
+
+import (
+	"fmt"
+
+	"flexos/internal/core"
+	"flexos/internal/ramfs"
+	"flexos/internal/timesys"
+)
+
+// Name is the component name used in configuration files.
+const Name = "vfscore"
+
+// Per-op base costs (cycles).
+const (
+	lookupWork = 28
+	fdWork     = 22
+	syncWork   = 45
+)
+
+// file is an open descriptor.
+type file struct {
+	fd     int
+	nodeID int
+	pos    int
+}
+
+// State is the per-image VFS state.
+type State struct {
+	paths  map[string]int // path -> ramfs node id
+	files  map[int]*file
+	nextFD int
+	ops    uint64
+}
+
+// Register adds the vfscore component. It requires ramfs and uktime to be
+// registered in the same catalog.
+func Register(cat *core.Catalog) *State {
+	st := &State{paths: make(map[string]int), files: make(map[int]*file)}
+	c := core.NewComponent(Name)
+	c.PatchAdd, c.PatchDel = 148, 37 // Table 1 (vfscore+ramfs)
+	c.Imports = []string{ramfs.Name, timesys.Name}
+	for _, v := range []core.SharedVar{
+		{Name: "fd_table", Size: 256},
+		{Name: "mount_table", Size: 128},
+		{Name: "cwd", Size: 64},
+		{Name: "vfs_stats", Size: 64},
+		{Name: "dirent_buf", Size: 256},
+		{Name: "path_scratch", Size: 128},
+		{Name: "open_flags", Size: 8},
+		{Name: "umask", Size: 8},
+		{Name: "root_vnode", Size: 32},
+		{Name: "io_vec", Size: 64},
+		{Name: "lock_table", Size: 64},
+		{Name: "statfs_buf", Size: 64},
+	} {
+		c.AddShared(v)
+	}
+
+	now := func(ctx *core.Ctx) (uint64, error) {
+		v, err := ctx.Call(timesys.Name, "now")
+		if err != nil {
+			return 0, err
+		}
+		return v.(uint64), nil
+	}
+
+	// open(path) creates the file if needed and returns an fd.
+	c.AddFunc(&core.Func{
+		Name: "open", Work: lookupWork, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			path, ok := args[0].(string)
+			if !ok {
+				return nil, fmt.Errorf("vfs: open(path string)")
+			}
+			if _, err := now(ctx); err != nil {
+				return nil, err
+			}
+			nodeID, ok := st.paths[path]
+			if !ok {
+				v, err := ctx.Call(ramfs.Name, "create")
+				if err != nil {
+					return nil, err
+				}
+				nodeID = v.(int)
+				st.paths[path] = nodeID
+			}
+			st.nextFD++
+			st.files[st.nextFD] = &file{fd: st.nextFD, nodeID: nodeID}
+			st.ops++
+			return st.nextFD, nil
+		},
+	})
+
+	// write(fd, srcAddr, n) appends at the cursor.
+	c.AddFunc(&core.Func{
+		Name: "write", Work: fdWork, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			if len(args) != 3 {
+				return nil, fmt.Errorf("vfs: write(fd, src, n)")
+			}
+			f, err := st.file(args[0])
+			if err != nil {
+				return nil, err
+			}
+			src := args[1].(uintptr)
+			n := args[2].(int)
+			t, err := now(ctx)
+			if err != nil {
+				return nil, err
+			}
+			v, err := ctx.Call(ramfs.Name, "write_node", f.nodeID, f.pos, src, n, t)
+			if err != nil {
+				return nil, err
+			}
+			f.pos += v.(int)
+			st.ops++
+			return v, nil
+		},
+	})
+
+	// read(fd, dstAddr, n) reads from the cursor.
+	c.AddFunc(&core.Func{
+		Name: "read", Work: fdWork, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			if len(args) != 3 {
+				return nil, fmt.Errorf("vfs: read(fd, dst, n)")
+			}
+			f, err := st.file(args[0])
+			if err != nil {
+				return nil, err
+			}
+			dst := args[1].(uintptr)
+			n := args[2].(int)
+			if _, err := now(ctx); err != nil {
+				return nil, err
+			}
+			v, err := ctx.Call(ramfs.Name, "read_node", f.nodeID, f.pos, dst, n)
+			if err != nil {
+				return nil, err
+			}
+			f.pos += v.(int)
+			st.ops++
+			return v, nil
+		},
+	})
+
+	// seek(fd, pos) repositions the cursor.
+	c.AddFunc(&core.Func{
+		Name: "seek", Work: 14, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			f, err := st.file(args[0])
+			if err != nil {
+				return nil, err
+			}
+			f.pos = args[1].(int)
+			return f.pos, nil
+		},
+	})
+
+	// fsync(fd) flushes (a ramfs no-op with sync bookkeeping cost).
+	c.AddFunc(&core.Func{
+		Name: "fsync", Work: syncWork, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			if _, err := st.file(args[0]); err != nil {
+				return nil, err
+			}
+			if _, err := now(ctx); err != nil {
+				return nil, err
+			}
+			st.ops++
+			return nil, nil
+		},
+	})
+
+	// close(fd) drops the descriptor.
+	c.AddFunc(&core.Func{
+		Name: "close", Work: fdWork, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			f, err := st.file(args[0])
+			if err != nil {
+				return nil, err
+			}
+			delete(st.files, f.fd)
+			st.ops++
+			return nil, nil
+		},
+	})
+
+	// unlink(path) removes a file entirely.
+	c.AddFunc(&core.Func{
+		Name: "unlink", Work: lookupWork, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			path, ok := args[0].(string)
+			if !ok {
+				return nil, fmt.Errorf("vfs: unlink(path string)")
+			}
+			nodeID, ok := st.paths[path]
+			if !ok {
+				return nil, fmt.Errorf("vfs: unlink %q: no such file", path)
+			}
+			if _, err := now(ctx); err != nil {
+				return nil, err
+			}
+			if _, err := ctx.Call(ramfs.Name, "remove", nodeID); err != nil {
+				return nil, err
+			}
+			delete(st.paths, path)
+			st.ops++
+			return nil, nil
+		},
+	})
+
+	// size(path) returns the file size.
+	c.AddFunc(&core.Func{
+		Name: "size", Work: lookupWork, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			path, ok := args[0].(string)
+			if !ok {
+				return nil, fmt.Errorf("vfs: size(path string)")
+			}
+			nodeID, ok := st.paths[path]
+			if !ok {
+				return nil, fmt.Errorf("vfs: size %q: no such file", path)
+			}
+			return ctx.Call(ramfs.Name, "node_size", nodeID)
+		},
+	})
+	cat.MustRegister(c)
+	return st
+}
+
+func (st *State) file(arg any) (*file, error) {
+	fd, ok := arg.(int)
+	if !ok {
+		return nil, fmt.Errorf("vfs: fd must be int")
+	}
+	f, ok := st.files[fd]
+	if !ok {
+		return nil, fmt.Errorf("vfs: bad fd %d", fd)
+	}
+	return f, nil
+}
+
+// Ops returns the number of VFS operations performed (bench hook).
+func (st *State) Ops() uint64 { return st.ops }
