@@ -9,7 +9,9 @@
 package flexos_test
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"flexos"
 	"flexos/internal/figures"
@@ -240,6 +242,115 @@ func BenchmarkAblationSharingStrategy(b *testing.B) {
 		}
 		b.ReportMetric(dss.Gbps, "sim-dss-Gb/s")
 		b.ReportMetric(heap.Gbps, "sim-heap-Gb/s")
+	}
+}
+
+// redisMeasure adapts BenchmarkRedis into an exploration measure
+// function for the engine benchmarks below.
+func redisMeasure(c *flexos.ExploreConfig) (float64, error) {
+	res, err := flexos.BenchmarkRedis(c.Spec(flexos.TCBLibs()), benchRequests)
+	if err != nil {
+		return 0, err
+	}
+	return res.ReqPerSec, nil
+}
+
+// benchmarkExploreFig6 sweeps the 80-point Redis space exhaustively
+// (no pruning, no memo) with the given worker count.
+func benchmarkExploreFig6(b *testing.B, workers int) {
+	cfgs := flexos.Fig6Space(flexos.RedisComponents())
+	for i := 0; i < b.N; i++ {
+		res, err := flexos.ExploreWith(cfgs, redisMeasure, 500_000, flexos.ExploreOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Evaluated != res.Total {
+			b.Fatalf("exhaustive sweep evaluated %d/%d", res.Evaluated, res.Total)
+		}
+	}
+	b.ReportMetric(float64(len(cfgs)), "configs")
+}
+
+// BenchmarkExploreFig6Sequential is the single-worker baseline sweep of
+// the 80-point Fig. 6 Redis space.
+func BenchmarkExploreFig6Sequential(b *testing.B) { benchmarkExploreFig6(b, 1) }
+
+// BenchmarkExploreFig6Parallel is the same sweep fanned across
+// GOMAXPROCS workers; its results are byte-identical to the sequential
+// run, so the time delta against BenchmarkExploreFig6Sequential is pure
+// engine speedup.
+func BenchmarkExploreFig6Parallel(b *testing.B) { benchmarkExploreFig6(b, 0) }
+
+// BenchmarkExploreParallelSpeedup times the sequential and parallel
+// sweeps back to back and reports the wall-clock ratio directly
+// (speedup-x ≈ 1 on single-core hosts, approaching the core count on
+// parallel hardware — the measurements are independent simulations).
+func BenchmarkExploreParallelSpeedup(b *testing.B) {
+	cfgs := flexos.Fig6Space(flexos.RedisComponents())
+	var seq, par time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := flexos.ExploreWith(cfgs, redisMeasure, 500_000, flexos.ExploreOptions{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+		seq += time.Since(start)
+		start = time.Now()
+		if _, err := flexos.ExploreWith(cfgs, redisMeasure, 500_000, flexos.ExploreOptions{Workers: 0}); err != nil {
+			b.Fatal(err)
+		}
+		par += time.Since(start)
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup-x")
+}
+
+// BenchmarkExploreMemoizedSweep measures a warm-memo sweep of the
+// Fig. 6 space: after one cold exploration, every further sweep is pure
+// cache traffic, which is what makes repeated cross-space exploration
+// (Fig. 5 + Fig. 6 + Fig. 8 share points) nearly free.
+func BenchmarkExploreMemoizedSweep(b *testing.B) {
+	cfgs := flexos.Fig6Space(flexos.RedisComponents())
+	memo := flexos.NewExploreMemo()
+	opts := flexos.ExploreOptions{Memo: memo, Workload: "redis"}
+	if _, err := flexos.ExploreWith(cfgs, redisMeasure, 500_000, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := flexos.ExploreWith(cfgs, redisMeasure, 500_000, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MemoHits != res.Total {
+			b.Fatalf("warm sweep hit %d/%d", res.MemoHits, res.Total)
+		}
+	}
+	b.ReportMetric(float64(len(cfgs)), "memo-hits")
+}
+
+// BenchmarkExploreCrossAppSpace exercises the engine at scale: the
+// 320-point two-application, two-mechanism space with pruning.
+func BenchmarkExploreCrossAppSpace(b *testing.B) {
+	cfgs := flexos.CrossAppSpace(nil, flexos.RedisComponents(), flexos.NginxComponents())
+	measure := func(c *flexos.ExploreConfig) (float64, error) {
+		for _, comp := range c.Components() {
+			if comp == flexos.LibNginx {
+				res, err := flexos.BenchmarkNginx(c.Spec(flexos.TCBLibs()), benchRequests)
+				if err != nil {
+					return 0, err
+				}
+				return res.ReqPerSec, nil
+			}
+		}
+		return redisMeasure(c)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := flexos.ExploreWith(cfgs, measure, 400_000, flexos.ExploreOptions{Prune: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Evaluated), "evaluated")
+		b.ReportMetric(float64(res.Total), "total-configs")
 	}
 }
 

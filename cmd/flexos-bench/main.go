@@ -22,6 +22,7 @@ func main() {
 	queries := flag.Int("queries", 150, "INSERT queries (Fig. 10; reported scaled to 5000)")
 	packets := flag.Int("packets", 40, "packets per buffer size (Fig. 9)")
 	budget := flag.Float64("budget", 500_000, "performance budget in req/s (Figs. 5, 8)")
+	workers := flag.Int("workers", 0, "concurrent measurement workers for the exploration figures (<= 0: GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "also write results as CSV files into this directory")
 	flag.Parse()
 
@@ -37,7 +38,7 @@ func main() {
 	}
 
 	run("5", func() error {
-		nodes, err := figures.Fig5(*requests, 600_000)
+		nodes, err := figures.Fig5Workers(*requests, 600_000, *workers)
 		if err != nil {
 			return err
 		}
@@ -47,13 +48,13 @@ func main() {
 	var redisRows, nginxRows []figures.ConfigPerf
 	run("6", func() error {
 		var err error
-		redisRows, err = figures.Fig6Redis(*requests)
+		redisRows, err = figures.Fig6RedisWorkers(*requests, *workers)
 		if err != nil {
 			return err
 		}
 		fmt.Print(figures.FormatFig6("Redis", redisRows))
 		fmt.Println()
-		nginxRows, err = figures.Fig6Nginx(*requests)
+		nginxRows, err = figures.Fig6NginxWorkers(*requests, *workers)
 		if err != nil {
 			return err
 		}
@@ -73,10 +74,10 @@ func main() {
 	run("7", func() error {
 		if redisRows == nil {
 			var err error
-			if redisRows, err = figures.Fig6Redis(*requests); err != nil {
+			if redisRows, err = figures.Fig6RedisWorkers(*requests, *workers); err != nil {
 				return err
 			}
-			if nginxRows, err = figures.Fig6Nginx(*requests); err != nil {
+			if nginxRows, err = figures.Fig6NginxWorkers(*requests, *workers); err != nil {
 				return err
 			}
 		}
@@ -89,7 +90,7 @@ func main() {
 		return nil
 	})
 	run("8", func() error {
-		res, err := figures.Fig8(*requests, *budget)
+		res, err := figures.Fig8Workers(*requests, *budget, *workers)
 		if err != nil {
 			return err
 		}

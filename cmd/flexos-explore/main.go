@@ -1,13 +1,15 @@
 // Command flexos-explore runs FlexOS' partial safety ordering (§5) over
-// the paper's 80-configuration design space for Redis or Nginx: it
-// measures every configuration (or prunes monotonically), orders them in
-// the safety poset, and prints the safest configurations that satisfy a
-// performance budget — the workflow behind Figure 8.
+// the paper's 80-configuration design space for Redis or Nginx — or the
+// larger 320-point cross-application space — measuring configurations
+// in parallel, pruning monotonically, and printing the safest
+// configurations that satisfy a performance budget (the workflow behind
+// Figure 8).
 //
 // Usage:
 //
 //	flexos-explore -app redis -budget 500000
 //	flexos-explore -app nginx -budget 400000 -exhaustive -v
+//	flexos-explore -app cross -workers 8 -progress
 package main
 
 import (
@@ -20,43 +22,74 @@ import (
 )
 
 func main() {
-	app := flag.String("app", "redis", "application to explore: redis | nginx")
+	app := flag.String("app", "redis", "space to explore: redis | nginx | cross (both apps x {mpk, ept})")
 	budget := flag.Float64("budget", 500_000, "minimum performance (requests/s)")
 	requests := flag.Int("requests", 200, "requests per measurement")
+	workers := flag.Int("workers", 0, "concurrent measurement workers (<= 0: GOMAXPROCS)")
+	progress := flag.Bool("progress", false, "report exploration progress on stderr")
 	exhaustive := flag.Bool("exhaustive", false, "measure every configuration (disable monotonic pruning)")
 	verbose := flag.Bool("v", false, "print every measured configuration")
 	dotPath := flag.String("dot", "", "write the labeled safety poset as a Graphviz file (Fig. 8 visual)")
 	flag.Parse()
 
-	var components [4]string
+	measureRedis := func(c *flexos.ExploreConfig) (float64, error) {
+		res, err := flexos.BenchmarkRedis(c.Spec(flexos.TCBLibs()), *requests)
+		if err != nil {
+			return 0, err
+		}
+		return res.ReqPerSec, nil
+	}
+	measureNginx := func(c *flexos.ExploreConfig) (float64, error) {
+		res, err := flexos.BenchmarkNginx(c.Spec(flexos.TCBLibs()), *requests)
+		if err != nil {
+			return 0, err
+		}
+		return res.ReqPerSec, nil
+	}
+
+	var cfgs []*flexos.ExploreConfig
 	var measure func(*flexos.ExploreConfig) (float64, error)
 	switch *app {
 	case "redis":
-		components = flexos.RedisComponents()
-		measure = func(c *flexos.ExploreConfig) (float64, error) {
-			res, err := flexos.BenchmarkRedis(c.Spec(flexos.TCBLibs()), *requests)
-			if err != nil {
-				return 0, err
-			}
-			return res.ReqPerSec, nil
-		}
+		cfgs = flexos.Fig6Space(flexos.RedisComponents())
+		measure = measureRedis
 	case "nginx":
-		components = flexos.NginxComponents()
+		cfgs = flexos.Fig6Space(flexos.NginxComponents())
+		measure = measureNginx
+	case "cross":
+		cfgs = flexos.CrossAppSpace(nil, flexos.RedisComponents(), flexos.NginxComponents())
+		// Dispatch on the application the configuration contains; the
+		// two sub-spaces are incomparable and explore independently.
 		measure = func(c *flexos.ExploreConfig) (float64, error) {
-			res, err := flexos.BenchmarkNginx(c.Spec(flexos.TCBLibs()), *requests)
-			if err != nil {
-				return 0, err
+			for _, comp := range c.Components() {
+				switch comp {
+				case flexos.LibRedis:
+					return measureRedis(c)
+				case flexos.LibNginx:
+					return measureNginx(c)
+				}
 			}
-			return res.ReqPerSec, nil
+			return 0, fmt.Errorf("config %d contains no known application", c.ID)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "flexos-explore: unknown app %q\n", *app)
 		os.Exit(2)
 	}
 
-	cfgs := flexos.Fig6Space(components)
-	res, err := flexos.Explore(cfgs, measure, *budget, !*exhaustive)
+	opts := flexos.ExploreOptions{Workers: *workers, Prune: !*exhaustive}
+	if *progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rexplored %d/%d configurations", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	res, err := flexos.ExploreWith(cfgs, measure, *budget, opts)
 	if err != nil {
+		if *progress {
+			fmt.Fprintln(os.Stderr)
+		}
 		fmt.Fprintln(os.Stderr, "flexos-explore:", err)
 		os.Exit(1)
 	}
@@ -74,6 +107,8 @@ func main() {
 			state := "measured"
 			if m.Pruned {
 				state = "pruned"
+			} else if m.Cached {
+				state = "cached"
 			}
 			fmt.Printf("%-9s %9.1fk req/s  %s\n", state, m.Perf/1000, m.Config.Label())
 		}
@@ -91,8 +126,8 @@ func main() {
 	fmt.Printf("explored %d/%d configurations (budget %.0fk %s req/s)\n",
 		res.Evaluated, res.Total, *budget/1000, *app)
 	fmt.Printf("safest configurations under budget: %d\n", len(res.Safest))
-	for _, c := range res.SafestConfigs() {
-		idx := c.ID
-		fmt.Printf("  * %-55s %9.1fk req/s\n", c.Label(), res.Measurements[idx].Perf/1000)
+	for _, i := range res.Safest {
+		m := res.Measurements[i]
+		fmt.Printf("  * %-55s %9.1fk req/s\n", m.Config.Label(), m.Perf/1000)
 	}
 }

@@ -1,8 +1,10 @@
 // Explore-redis reproduces the paper's exploration workflow (§5, Fig. 8)
 // end to end through the public API: generate the 80-configuration Redis
-// design space, measure it under partial safety ordering with monotonic
-// pruning, and print the safest configurations that sustain 500k GET/s —
-// then render one of them back to a configuration file.
+// design space, measure it in parallel under partial safety ordering
+// with monotonic pruning, and print the safest configurations that
+// sustain 500k GET/s — then render one of them back to a configuration
+// file, and re-explore under a tighter budget against the measurement
+// memo, which re-measures only the points pruning skipped before.
 //
 // Run with: go run ./examples/explore-redis
 package main
@@ -30,7 +32,11 @@ func main() {
 		return res.ReqPerSec, nil
 	}
 
-	res, err := flexos.Explore(cfgs, measure, budget, true)
+	memo := flexos.NewExploreMemo()
+	res, err := flexos.ExploreWith(cfgs, measure, budget, flexos.ExploreOptions{
+		Prune: true, // skip configs dominated by a budget violation
+		Memo:  memo, // remember every measurement for later runs
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,4 +86,14 @@ func main() {
 		}
 	}
 	fmt.Print(flexos.RenderConfig(cfg))
+
+	// What if the budget were tighter? The memo holds every point the
+	// first pass measured, so re-exploring only pays for the configs
+	// pruning skipped last time.
+	tight, err := flexos.ExploreWith(cfgs, measure, budget*1.2, flexos.ExploreOptions{Memo: memo})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nre-explored at %.0fk req/s: %d fresh measurements, %d memo hits, %d safest\n",
+		budget*1.2/1000, tight.Evaluated, tight.MemoHits, len(tight.Safest))
 }

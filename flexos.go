@@ -86,6 +86,12 @@ type (
 	ExploreConfig = explore.Config
 	// ExploreResult is the outcome of a design-space exploration.
 	ExploreResult = explore.Result
+	// ExploreOptions configures the parallel exploration engine
+	// (workers, pruning, memoization, progress reporting).
+	ExploreOptions = explore.Options
+	// ExploreMemo is a measurement cache shared across explorations,
+	// keyed by canonical configuration identity.
+	ExploreMemo = explore.Memo
 )
 
 // Gate flavors and sharing strategies.
@@ -235,7 +241,35 @@ func Fig5Space(blockA, blockB []string) []*ExploreConfig {
 
 // Explore runs partial safety ordering over a configuration space:
 // measure every configuration (or prune monotonically), then return the
-// safest configurations meeting the performance budget.
+// safest configurations meeting the performance budget. Measurement
+// fans out over GOMAXPROCS workers; the result is byte-identical to a
+// single-worker run (the simulated machine is deterministic), so
+// parallelism is transparent. Use ExploreWith to control worker count,
+// memoization and progress reporting.
 func Explore(cfgs []*ExploreConfig, measure func(*ExploreConfig) (float64, error), budget float64, prune bool) (*ExploreResult, error) {
-	return explore.Run(cfgs, measure, budget, prune)
+	return explore.RunOpts(cfgs, measure, budget, explore.Options{Prune: prune})
+}
+
+// ExploreWith is Explore with full engine control: worker count,
+// monotonic pruning, a cross-run measurement memo, and a progress
+// callback. The measure function must be safe for concurrent use when
+// Workers != 1 (every shipped Benchmark* function is: each call builds
+// a fresh catalog and simulated machine).
+func ExploreWith(cfgs []*ExploreConfig, measure func(*ExploreConfig) (float64, error), budget float64, opts ExploreOptions) (*ExploreResult, error) {
+	return explore.RunOpts(cfgs, measure, budget, opts)
+}
+
+// NewExploreMemo returns an empty measurement cache for ExploreWith.
+// Share one memo only among explorations whose measure functions agree
+// for identical configurations (same application and request count);
+// set ExploreOptions.Workload to namespace several benchmarks in one
+// memo.
+func NewExploreMemo() *ExploreMemo { return explore.NewMemo() }
+
+// CrossAppSpace generates a larger cross-application design space: the
+// five Figure-8 partitions × 16 hardening masks × each mechanism, for
+// each application quadruple (e.g. RedisComponents, NginxComponents).
+// An empty mechanisms slice defaults to {intel-mpk, vm-ept}.
+func CrossAppSpace(mechanisms []string, apps ...[4]string) []*ExploreConfig {
+	return explore.CrossAppSpace(mechanisms, apps...)
 }

@@ -1,0 +1,3 @@
+module flexos
+
+go 1.24

@@ -1,0 +1,309 @@
+package explore
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Options configures a RunOpts exploration.
+type Options struct {
+	// Workers is the number of concurrent measurement goroutines; values
+	// <= 0 select runtime.GOMAXPROCS(0). The result is identical for
+	// every worker count (the simulated machine is deterministic), so
+	// callers pick workers purely for wall-clock speed.
+	Workers int
+
+	// Prune enables poset-aware monotonic pruning (§5): a configuration
+	// is skipped when a strictly-less-safe ancestor already fell below
+	// the budget. The engine keeps pruning sound under concurrent
+	// completion order by deferring every decision about a configuration
+	// until all of its poset predecessors are decided.
+	Prune bool
+
+	// Memo, when non-nil, caches measurements across runs keyed by
+	// canonical configuration identity (Config.Key), so identical points
+	// shared by several spaces are measured once. Share one Memo only
+	// among runs whose measure functions agree for identical configs —
+	// use Workload to namespace different benchmarks within one Memo.
+	Memo *Memo
+
+	// Workload namespaces memo keys (e.g. "redis", "nginx"), letting a
+	// single Memo serve several measure functions without collisions.
+	Workload string
+
+	// Progress, when non-nil, is called after each configuration is
+	// decided (measured, memo-filled or pruned) with the number decided
+	// so far and the space size. It runs on the coordinating goroutine,
+	// never concurrently with itself.
+	Progress func(done, total int)
+}
+
+// Memo is a concurrency-safe measurement cache keyed by canonical
+// configuration identity. A Memo may be shared by concurrent runs; a
+// measurement in flight is joined rather than repeated, and failed
+// measurements are not cached (a later run retries them).
+type Memo struct {
+	mu      sync.Mutex
+	entries map[string]*memoEntry
+}
+
+type memoEntry struct {
+	done chan struct{}
+	perf float64
+	err  error
+}
+
+// NewMemo returns an empty measurement cache.
+func NewMemo() *Memo { return &Memo{entries: make(map[string]*memoEntry)} }
+
+// Len returns the number of cached (or in-flight) measurements.
+func (m *Memo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// do returns the cached value for key or computes it with f, joining an
+// in-flight computation if one exists. hit reports whether the value
+// predates this call.
+func (m *Memo) do(key string, f func() (float64, error)) (perf float64, hit bool, err error) {
+	m.mu.Lock()
+	if e, ok := m.entries[key]; ok {
+		m.mu.Unlock()
+		<-e.done
+		return e.perf, true, e.err
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	m.entries[key] = e
+	m.mu.Unlock()
+
+	e.perf, e.err = f()
+	if e.err != nil {
+		m.mu.Lock()
+		delete(m.entries, key)
+		m.mu.Unlock()
+	}
+	close(e.done)
+	return e.perf, false, e.err
+}
+
+// RunOpts explores a configuration space with a parallel, memoized
+// engine. It builds the safety poset, fans measurement across a worker
+// pool, deduplicates identical configurations (within the space, and —
+// given a Memo — across spaces and runs), and prunes monotonically when
+// asked. The Result is byte-identical for every worker count: decisions
+// depend only on the poset and the deterministic measure function, pool
+// scheduling only affects wall-clock time.
+//
+// Unlike the sequential reference engine (Run), identical configurations
+// within one space are measured once here: the lowest-index occurrence
+// measures, the twins inherit the value with Cached set.
+func RunOpts(cfgs []*Config, measure Measure, budget float64, opts Options) (*Result, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+
+	p := Poset(cfgs)
+	res := &Result{
+		Measurements: make([]Measurement, len(cfgs)),
+		Total:        len(cfgs),
+		Budget:       budget,
+		poset:        p,
+	}
+	for i, c := range cfgs {
+		res.Measurements[i].Config = c
+	}
+
+	n := len(cfgs)
+	preds := make([][]int, n)
+	succs := make([][]int, n)
+	for _, e := range p.Edges() {
+		preds[e[1]] = append(preds[e[1]], e[0])
+		succs[e[0]] = append(succs[e[0]], e[1])
+	}
+
+	// Canonical-identity groups. Only the lowest-index member of each
+	// group is measured; its twins inherit the value. Identical configs
+	// occupy the same poset position (same predecessor sets), so their
+	// pruning decisions always agree.
+	keys := make([]string, n)
+	canon := make([]int, n)
+	group := make(map[string]int, n)
+	for i, c := range cfgs {
+		keys[i] = opts.Workload + "\x00" + c.Key()
+		if first, ok := group[keys[i]]; ok {
+			canon[i] = first
+		} else {
+			group[keys[i]] = i
+			canon[i] = i
+		}
+	}
+
+	// Worker pool. Workers only run measure (through the memo); all
+	// scheduling state below is owned by this goroutine.
+	type outcome struct {
+		idx  int
+		perf float64
+		hit  bool
+		err  error
+	}
+	jobs := make(chan int, n)
+	outcomes := make(chan outcome, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				var o outcome
+				o.idx = i
+				if opts.Memo != nil {
+					o.perf, o.hit, o.err = opts.Memo.do(keys[i], func() (float64, error) {
+						return measure(cfgs[i])
+					})
+				} else {
+					o.perf, o.err = measure(cfgs[i])
+				}
+				outcomes <- o
+			}
+		}()
+	}
+
+	var (
+		remaining   = make([]int, n) // undecided predecessors
+		belowBudget = make([]bool, n)
+		decided     = make([]bool, n)
+		valued      = make([]bool, n)  // index holds a perf value
+		waiters     = make([][]int, n) // twins waiting on their canonical index
+		toProp      []int              // decided nodes whose successors need updating
+		inFlight    int
+		done        int
+		failed      bool
+		errs        []outcome
+	)
+	for i := range cfgs {
+		remaining[i] = len(preds[i])
+	}
+
+	markDecided := func(i int) {
+		decided[i] = true
+		done++
+		if opts.Progress != nil {
+			opts.Progress(done, n)
+		}
+		toProp = append(toProp, i)
+	}
+	fill := func(i int, perf float64, cached bool) {
+		m := &res.Measurements[i]
+		m.Perf = perf
+		m.Evaluated = true
+		m.Cached = cached
+		if cached {
+			res.MemoHits++
+		} else {
+			res.Evaluated++
+		}
+		valued[i] = true
+		if perf < budget {
+			belowBudget[i] = true
+		}
+		markDecided(i)
+	}
+	ready := func(i int) {
+		if opts.Prune {
+			for _, pr := range preds[i] {
+				if belowBudget[pr] {
+					res.Measurements[i].Pruned = true
+					belowBudget[i] = true // propagate
+					markDecided(i)
+					return
+				}
+			}
+		}
+		if c := canon[i]; c != i {
+			// An identical twin: inherit the canonical measurement, or
+			// wait for it (twins share predecessor sets, so the
+			// canonical node is ready by now too).
+			if valued[c] {
+				fill(i, res.Measurements[c].Perf, true)
+			} else {
+				waiters[c] = append(waiters[c], i)
+			}
+			return
+		}
+		if failed {
+			return // abandoned run: stop submitting new measurements
+		}
+		inFlight++
+		jobs <- i
+	}
+	// drain processes decision consequences until quiescent: successors
+	// of decided nodes whose predecessors are now all decided become
+	// ready themselves (measured, inherited, or pruned in turn).
+	drain := func() {
+		for len(toProp) > 0 {
+			i := toProp[0]
+			toProp = toProp[1:]
+			for _, j := range succs[i] {
+				remaining[j]--
+				if remaining[j] == 0 && !decided[j] {
+					ready(j)
+				}
+			}
+		}
+	}
+
+	// Seed with the roots of the safety DAG, then react to completions.
+	for i := range cfgs {
+		if remaining[i] == 0 {
+			ready(i)
+		}
+	}
+	drain()
+	for inFlight > 0 {
+		o := <-outcomes
+		inFlight--
+		if o.err != nil {
+			failed = true
+			errs = append(errs, o)
+			continue
+		}
+		if failed {
+			continue
+		}
+		fill(o.idx, o.perf, o.hit)
+		for _, w := range waiters[o.idx] {
+			fill(w, o.perf, true)
+		}
+		waiters[o.idx] = nil
+		drain()
+	}
+	close(jobs)
+	wg.Wait()
+
+	if failed {
+		// Report the lowest-index failure so the error is stable across
+		// worker counts when a single configuration is at fault.
+		sort.Slice(errs, func(a, b int) bool { return errs[a].idx < errs[b].idx })
+		o := errs[0]
+		return nil, fmt.Errorf("explore: measuring config %d (%s): %w",
+			cfgs[o.idx].ID, cfgs[o.idx].Label(), o.err)
+	}
+
+	index := make(map[*Config]int, n)
+	for i, c := range cfgs {
+		index[c] = i
+	}
+	res.Safest = p.Maximal(func(c *Config) bool {
+		m := res.Measurements[index[c]]
+		return m.Evaluated && m.Perf >= budget
+	})
+	sort.Ints(res.Safest)
+	return res, nil
+}

@@ -1,15 +1,25 @@
 // Package explore implements FlexOS' semi-automated design-space
 // exploration (§5, §6.2): it generates configuration spaces (notably the
 // paper's 80-configuration Redis/Nginx space — 5 compartmentalization
-// strategies × 16 per-component hardening combinations), orders them into
-// the partial safety poset, measures their performance (the Wayfinder
-// role), prunes measurement monotonically along safety paths, and
-// extracts the safest configurations under a performance budget (the
-// stars of Figure 8).
+// strategies × 16 per-component hardening combinations — and the larger
+// cross-application CrossAppSpace), orders them into the partial safety
+// poset, measures their performance (the Wayfinder role), prunes
+// measurement monotonically along safety paths, and extracts the safest
+// configurations under a performance budget (the stars of Figure 8).
+//
+// Measurement runs through one of two engines: Run, the simple
+// sequential reference, and RunOpts, the production engine — a worker
+// pool fanning measurements across goroutines, memoization keyed by
+// canonical configuration identity (Config.Key) so identical points
+// within and across spaces are measured once, and pruning that stays
+// sound under concurrent completion by deciding a configuration only
+// after all its poset predecessors are decided. Both engines return
+// byte-identical results for any worker count.
 package explore
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 
@@ -115,6 +125,72 @@ func (c *Config) Spec(tcbLibs []string) core.ImageSpec {
 		spec.Comps = append(spec.Comps, cs)
 	}
 	return spec
+}
+
+// CanonicalMechanism maps mechanism aliases ("mpk", "ept", "sgx", "")
+// onto the canonical backend names the toolchain registers, so that two
+// configurations naming the same backend differently share one identity.
+func CanonicalMechanism(m string) string {
+	switch m {
+	case "", "none":
+		return "none"
+	case "mpk", "intel-mpk":
+		return "intel-mpk"
+	case "ept", "vm-ept":
+		return "vm-ept"
+	case "sgx", "intel-sgx":
+		return "intel-sgx"
+	default:
+		return m
+	}
+}
+
+// Key returns the canonical identity of the configuration: two configs
+// have equal keys exactly when they describe the same image and would
+// measure identically on the deterministic machine. The key normalizes
+// everything that does not change build semantics — mechanism aliases,
+// component order within a block, the order of non-default blocks, and
+// gate/sharing selections on single-compartment images (which build no
+// gates at all). The ID is deliberately excluded: identity is semantic,
+// which is what lets the engine memoize identical points across spaces.
+func (c *Config) Key() string {
+	var b strings.Builder
+	b.WriteString("mech=")
+	b.WriteString(CanonicalMechanism(c.Mechanism))
+	if c.NumCompartments() > 1 {
+		fmt.Fprintf(&b, ";gate=%s;share=%s", c.GateMode, c.Sharing)
+	}
+	// Block 0 is positionally significant (it is the default compartment
+	// and hosts the TCB); the remaining blocks are an unordered set.
+	blocks := make([]string, 0, len(c.Blocks))
+	for _, blk := range c.Blocks {
+		s := append([]string(nil), blk...)
+		sort.Strings(s)
+		blocks = append(blocks, strings.Join(s, ","))
+	}
+	if len(blocks) > 1 {
+		sort.Strings(blocks[1:])
+	}
+	b.WriteString(";blocks=")
+	b.WriteString(strings.Join(blocks, "|"))
+	b.WriteString(";harden=")
+	for _, comp := range c.Components() {
+		if hs := c.Hardening[comp]; !hs.Empty() {
+			b.WriteString(comp)
+			b.WriteString(":")
+			b.WriteString(hs.String())
+			b.WriteString(";")
+		}
+	}
+	return b.String()
+}
+
+// Hash returns a 64-bit FNV-1a digest of Key, for callers that want a
+// fixed-width handle on a configuration's identity.
+func (c *Config) Hash() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(c.Key()))
+	return h.Sum64()
 }
 
 // strength ranks the isolation mechanism.

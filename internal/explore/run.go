@@ -22,6 +22,9 @@ type Measurement struct {
 	// Pruned is true when a less-safe ancestor already missed the
 	// budget, so this config could not meet it either.
 	Pruned bool
+	// Cached is true when the parallel engine filled Perf from a memo
+	// hit or from an identical configuration instead of a fresh run.
+	Cached bool
 }
 
 // Result is a full exploration outcome.
@@ -36,6 +39,10 @@ type Result struct {
 	// size. Their ratio quantifies the §5 claim that pruning
 	// "significantly limits combinatorial explosion".
 	Evaluated, Total int
+	// MemoHits counts configurations whose value came from the memo or
+	// an identical twin within the space instead of a fresh run
+	// (parallel engine only; always 0 for the sequential reference).
+	MemoHits int
 	// Budget echoes the performance floor used.
 	Budget float64
 
@@ -45,12 +52,16 @@ type Result struct {
 // Poset returns the safety poset underlying the result.
 func (r *Result) Poset() *poset.Poset[*Config] { return r.poset }
 
-// Run explores a configuration space: it builds the safety poset, walks
-// it from the least-safe configurations upward, measures each
+// Run is the sequential reference engine: it builds the safety poset,
+// walks it from the least-safe configurations upward, measures each
 // configuration with measure, and — when prune is true — skips any
 // configuration one of whose strictly-less-safe ancestors already fell
 // below the budget (sound under the §5 assumption that performance
 // decreases monotonically with safety).
+//
+// Production callers should prefer RunOpts, the parallel memoized
+// engine, which returns byte-identical results; Run survives as the
+// independent oracle the engine's tests compare against.
 func Run(cfgs []*Config, measure Measure, budget float64, prune bool) (*Result, error) {
 	p := Poset(cfgs)
 	res := &Result{

@@ -53,6 +53,39 @@ func Fig6Space(components [4]string) []*Config {
 	return cfgs
 }
 
+// CrossAppSpace generates a larger, cross-application design space to
+// exercise exploration at scale: for every application quadruple it
+// emits the five Figure-8 partitions × 16 per-component hardening masks
+// × every requested isolation mechanism — 80·len(mechanisms) points per
+// application (320 for the default two-app, two-mechanism sweep).
+// Varying the mechanism deepens the poset (intel-mpk sits strictly
+// below vm-ept at equal structure), which gives monotonic pruning
+// longer safety chains to cut; configurations of different applications
+// are incomparable and explore independently. IDs are dense across the
+// whole space, and points whose canonical identity coincides with a
+// Fig6Space point memoize against it.
+//
+// Each apps element must be [app, libc, sched, netstack], as for
+// Fig6Space.
+func CrossAppSpace(mechanisms []string, apps ...[4]string) []*Config {
+	if len(mechanisms) == 0 {
+		mechanisms = []string{"intel-mpk", "vm-ept"}
+	}
+	var cfgs []*Config
+	id := 0
+	for _, components := range apps {
+		for _, mech := range mechanisms {
+			for _, c := range Fig6Space(components) {
+				c.ID = id
+				c.Mechanism = mech
+				cfgs = append(cfgs, c)
+				id++
+			}
+		}
+	}
+	return cfgs
+}
+
 // Fig5Space generates the poset subset Figure 5 draws: a fixed
 // two-compartment strategy, varying per-compartment hardening over
 // {none, CFI, ASAN, CFI+ASAN} for each of the two compartments (16

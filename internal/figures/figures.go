@@ -8,6 +8,7 @@ package figures
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -34,8 +35,15 @@ type ConfigPerf struct {
 // Fig6Redis measures the 80-configuration Redis space (Figure 6 top):
 // MPK+DSS isolation, 5 partitions x 16 per-component hardening sets.
 // Results are sorted by throughput ascending, like the paper's plot.
+// Measurement fans out over GOMAXPROCS workers (see Fig6RedisWorkers).
 func Fig6Redis(requests int) ([]ConfigPerf, error) {
-	return fig6(redisapp.Components4(), func(spec core.ImageSpec) (float64, error) {
+	return Fig6RedisWorkers(requests, 0)
+}
+
+// Fig6RedisWorkers is Fig6Redis with an explicit worker count
+// (<= 0 selects GOMAXPROCS). Results are identical for every count.
+func Fig6RedisWorkers(requests, workers int) ([]ConfigPerf, error) {
+	return fig6(redisapp.Components4(), workers, func(spec core.ImageSpec) (float64, error) {
 		res, err := redisapp.Benchmark(spec, requests)
 		if err != nil {
 			return 0, err
@@ -46,7 +54,12 @@ func Fig6Redis(requests int) ([]ConfigPerf, error) {
 
 // Fig6Nginx measures the Nginx half of the space (Figure 6 bottom).
 func Fig6Nginx(requests int) ([]ConfigPerf, error) {
-	return fig6(nginxapp.Components4(), func(spec core.ImageSpec) (float64, error) {
+	return Fig6NginxWorkers(requests, 0)
+}
+
+// Fig6NginxWorkers is Fig6Nginx with an explicit worker count.
+func Fig6NginxWorkers(requests, workers int) ([]ConfigPerf, error) {
+	return fig6(nginxapp.Components4(), workers, func(spec core.ImageSpec) (float64, error) {
 		res, err := nginxapp.Benchmark(spec, requests)
 		if err != nil {
 			return 0, err
@@ -55,22 +68,32 @@ func Fig6Nginx(requests int) ([]ConfigPerf, error) {
 	})
 }
 
-func fig6(components [4]string, measure func(core.ImageSpec) (float64, error)) ([]ConfigPerf, error) {
+// fig6 sweeps the space through the parallel engine exhaustively (the
+// figure plots every point, so the budget is -Inf and nothing prunes).
+func fig6(components [4]string, workers int, measure func(core.ImageSpec) (float64, error)) ([]ConfigPerf, error) {
 	cfgs := explore.Fig6Space(components)
+	res, err := explore.RunOpts(cfgs, func(c *explore.Config) (float64, error) {
+		return measure(c.Spec(tcbLibs()))
+	}, math.Inf(-1), explore.Options{Workers: workers})
+	if err != nil {
+		return nil, fmt.Errorf("figures: %w", err)
+	}
 	out := make([]ConfigPerf, 0, len(cfgs))
-	for _, c := range cfgs {
-		perf, err := measure(c.Spec(tcbLibs()))
-		if err != nil {
-			return nil, fmt.Errorf("figures: config %d (%s): %w", c.ID, c.Label(), err)
-		}
+	for _, m := range res.Measurements {
+		c := m.Config
 		out = append(out, ConfigPerf{
 			ID: c.ID, Label: c.Label(),
 			Compartments: c.NumCompartments(),
 			Hardened:     c.HardenedCount(),
-			Perf:         perf,
+			Perf:         m.Perf,
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Perf < out[j].Perf })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Perf != out[j].Perf {
+			return out[i].Perf < out[j].Perf
+		}
+		return out[i].ID < out[j].ID
+	})
 	return out, nil
 }
 
@@ -153,8 +176,15 @@ type Fig8Result struct {
 // Fig8 applies partial safety ordering to the Redis configuration space
 // with the paper's 500k req/s budget: it returns the safest
 // configurations meeting the budget (the stars) and how many
-// measurements monotonic pruning saved.
+// measurements monotonic pruning saved. Measurement is parallel; see
+// Fig8Workers for an explicit worker count.
 func Fig8(requests int, budget float64) (*Fig8Result, error) {
+	return Fig8Workers(requests, budget, 0)
+}
+
+// Fig8Workers is Fig8 with an explicit worker count (<= 0 selects
+// GOMAXPROCS).
+func Fig8Workers(requests int, budget float64, workers int) (*Fig8Result, error) {
 	cfgs := explore.Fig6Space(redisapp.Components4())
 	measure := func(c *explore.Config) (float64, error) {
 		res, err := redisapp.Benchmark(c.Spec(tcbLibs()), requests)
@@ -163,7 +193,7 @@ func Fig8(requests int, budget float64) (*Fig8Result, error) {
 		}
 		return res.ReqPerSec, nil
 	}
-	res, err := explore.Run(cfgs, measure, budget, true)
+	res, err := explore.RunOpts(cfgs, measure, budget, explore.Options{Workers: workers, Prune: true})
 	if err != nil {
 		return nil, err
 	}

@@ -31,7 +31,14 @@ type Fig5Node struct {
 // Fig5 reproduces the Figure 5 poset subset: a fixed two-compartment
 // Redis configuration (app+libc+sched / lwip), varying per-compartment
 // hardening over {none, CFI, ASAN, CFI+ASAN}, pruned under a budget.
+// Measurement is parallel; see Fig5Workers for an explicit count.
 func Fig5(requests int, budget float64) ([]Fig5Node, error) {
+	return Fig5Workers(requests, budget, 0)
+}
+
+// Fig5Workers is Fig5 with an explicit worker count (<= 0 selects
+// GOMAXPROCS).
+func Fig5Workers(requests int, budget float64, workers int) ([]Fig5Node, error) {
 	comps := [4]string{"libredis", libc.Name, oslib.SchedName, netstack.Name}
 	cfgs := explore.Fig5Space(
 		[]string{comps[0], comps[1], comps[2]},
@@ -44,7 +51,7 @@ func Fig5(requests int, budget float64) ([]Fig5Node, error) {
 		}
 		return res, nil
 	}
-	res, err := explore.Run(cfgs, measure, budget, false)
+	res, err := explore.RunOpts(cfgs, measure, budget, explore.Options{Workers: workers})
 	if err != nil {
 		return nil, err
 	}

@@ -8,22 +8,45 @@
 //
 // The package is generic: the exploration layer instantiates it with its
 // configuration descriptor, and tests instantiate it with integers.
+//
+// New evaluates the order relation once per ordered pair and stores the
+// result in a bitset matrix; every query afterwards — Leq, Edges,
+// Maximal, TopoOrder — runs on bit operations instead of re-invoking
+// the (potentially allocating) relation. The transitive reduction in
+// Edges intersects "strictly above" and "strictly below" bitsets, so
+// building the Hasse diagram of an n-point space costs O(n³/64) word
+// operations after the O(n²) relation evaluations — what keeps the
+// exploration engine's setup negligible even for the multi-hundred
+// point cross-application spaces.
 package poset
 
 import "fmt"
 
 // Poset is a finite partially ordered set over items of type T with
 // order relation leq ("less or equally safe"). leq must be reflexive,
-// antisymmetric (up to item identity) and transitive; BuildChecks can
+// antisymmetric (up to item identity) and transitive; CheckOrder can
 // verify a candidate relation on the given items.
 type Poset[T any] struct {
 	items []T
-	leq   func(a, b T) bool
+	words int      // bitset words per row
+	rows  []uint64 // n rows × words bits: bit j of row i == leq(i, j)
 }
 
-// New builds a poset over items with the given order relation.
+// New builds a poset over items with the given order relation,
+// evaluating it once per ordered pair.
 func New[T any](items []T, leq func(a, b T) bool) *Poset[T] {
-	return &Poset[T]{items: items, leq: leq}
+	n := len(items)
+	w := (n + 63) / 64
+	p := &Poset[T]{items: items, words: w, rows: make([]uint64, n*w)}
+	for i := 0; i < n; i++ {
+		row := p.rows[i*w : (i+1)*w]
+		for j := 0; j < n; j++ {
+			if leq(items[i], items[j]) {
+				row[j>>6] |= 1 << uint(j&63)
+			}
+		}
+	}
+	return p
 }
 
 // Len returns the number of items.
@@ -36,28 +59,52 @@ func (p *Poset[T]) Item(i int) T { return p.items[i] }
 func (p *Poset[T]) Items() []T { return p.items }
 
 // Leq reports whether item i is less-or-equally safe than item j.
-func (p *Poset[T]) Leq(i, j int) bool { return p.leq(p.items[i], p.items[j]) }
+func (p *Poset[T]) Leq(i, j int) bool {
+	return p.rows[i*p.words+(j>>6)]&(1<<uint(j&63)) != 0
+}
 
 // Comparable reports whether two items lie on a common path.
 func (p *Poset[T]) Comparable(i, j int) bool {
 	return p.Leq(i, j) || p.Leq(j, i)
 }
 
+// less is strict order: leq and not geq.
+func (p *Poset[T]) less(i, j int) bool {
+	return p.Leq(i, j) && !p.Leq(j, i)
+}
+
 // Edges returns the covering relation — the transitive reduction of the
 // order, i.e. the edges one would draw in the Hasse diagram / DAG of
 // Figure 5. An edge (i, j) means i < j with nothing in between.
 func (p *Poset[T]) Edges() [][2]int {
-	var edges [][2]int
 	n := len(p.items)
+	w := p.words
+	// above[i] holds the items strictly above i; below[j] the items
+	// strictly below j. An i < j pair is covered exactly when the two
+	// sets intersect.
+	above := make([]uint64, n*w)
+	below := make([]uint64, n*w)
 	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && p.less(i, j) {
+				above[i*w+(j>>6)] |= 1 << uint(j&63)
+				below[j*w+(i>>6)] |= 1 << uint(i&63)
+			}
+		}
+	}
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		ai := above[i*w : (i+1)*w]
 		for j := 0; j < n; j++ {
 			if i == j || !p.less(i, j) {
 				continue
 			}
+			bj := below[j*w : (j+1)*w]
 			covered := false
-			for k := 0; k < n && !covered; k++ {
-				if k != i && k != j && p.less(i, k) && p.less(k, j) {
+			for k := 0; k < w; k++ {
+				if ai[k]&bj[k] != 0 {
 					covered = true
+					break
 				}
 			}
 			if !covered {
@@ -66,11 +113,6 @@ func (p *Poset[T]) Edges() [][2]int {
 		}
 	}
 	return edges
-}
-
-// less is strict order: leq and not geq.
-func (p *Poset[T]) less(i, j int) bool {
-	return p.Leq(i, j) && !p.Leq(j, i)
 }
 
 // Maximal returns the indices of the maximal elements among the items
@@ -164,16 +206,28 @@ func (p *Poset[T]) TopoOrder() []int {
 // and for validating custom safety relations.
 func (p *Poset[T]) CheckOrder() error {
 	n := len(p.items)
+	w := p.words
 	for i := 0; i < n; i++ {
 		if !p.Leq(i, i) {
 			return fmt.Errorf("poset: leq not reflexive at %d", i)
 		}
 	}
+	// Transitivity: whenever i <= j, everything above j must be above
+	// i, i.e. row(j) ⊆ row(i).
 	for i := 0; i < n; i++ {
+		ri := p.rows[i*w : (i+1)*w]
 		for j := 0; j < n; j++ {
-			for k := 0; k < n; k++ {
-				if p.Leq(i, j) && p.Leq(j, k) && !p.Leq(i, k) {
-					return fmt.Errorf("poset: leq not transitive at (%d,%d,%d)", i, j, k)
+			if !p.Leq(i, j) {
+				continue
+			}
+			rj := p.rows[j*w : (j+1)*w]
+			for word := 0; word < w; word++ {
+				if missing := rj[word] &^ ri[word]; missing != 0 {
+					for k := word * 64; k < n; k++ {
+						if p.Leq(j, k) && !p.Leq(i, k) {
+							return fmt.Errorf("poset: leq not transitive at (%d,%d,%d)", i, j, k)
+						}
+					}
 				}
 			}
 		}
