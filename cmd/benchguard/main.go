@@ -1,0 +1,208 @@
+// Command benchguard is the benchmark-regression gate for the
+// exploration engine: it runs the BenchmarkExplore* benchmarks and
+// fails when any of them slowed down by more than the tolerance
+// (default 20%) against the checked-in baseline.
+//
+// Raw ns/op is meaningless across machines, so the guard normalizes
+// twice: every benchmark is expressed as a ratio to the sequential
+// reference engine (BenchmarkExploreFig6Sequential) measured in the
+// same run, and the whole suite runs under GOMAXPROCS=1 so parallel
+// speedup — which scales with the host's core count — cannot leak into
+// the ratios. What remains is the engine's own overhead — worker-pool
+// coordination, memoization, pruning bookkeeping — relative to the
+// cost of raw sequential measurement, which is what must not regress.
+// Absolute ns/op is recorded in the baseline as a comment for human
+// eyes only.
+//
+// Usage:
+//
+//	go run ./cmd/benchguard            # compare against the baseline
+//	go run ./cmd/benchguard -update    # rewrite the baseline
+//	go run ./cmd/benchguard -tolerance 0.3 -benchtime 2s
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const reference = "BenchmarkExploreFig6Sequential"
+
+func main() {
+	update := flag.Bool("update", false, "rewrite the baseline file from this run")
+	tolerance := flag.Float64("tolerance", 0.20, "maximum allowed relative slowdown vs baseline")
+	benchtime := flag.String("benchtime", "1s", "-benchtime passed to go test")
+	count := flag.Int("count", 3, "-count passed to go test; the guard keeps each benchmark's fastest run")
+	// BenchmarkExploreParallelSpeedup is deliberately not guarded: it is
+	// a speedup *meter* that times the sequential and parallel engines
+	// back to back, so its ns/op spans two runs and carries twice the
+	// scheduling variance while adding no coverage beyond the
+	// Fig6Sequential / Fig6Parallel pair.
+	pattern := flag.String("bench", "^BenchmarkExplore(Fig6|CrossAppSpace|MemoizedSweep)", "benchmark pattern to guard")
+	baseline := flag.String("baseline", filepath.Join("cmd", "benchguard", "baseline.txt"), "baseline file")
+	flag.Parse()
+
+	nsop, err := runBenchmarks(*pattern, *benchtime, *count)
+	if err != nil {
+		fatal(err)
+	}
+	ref, ok := nsop[reference]
+	if !ok || ref <= 0 {
+		fatal(fmt.Errorf("reference %s missing from benchmark output", reference))
+	}
+	ratios := map[string]float64{}
+	for name, v := range nsop {
+		if name != reference {
+			ratios[name] = v / ref
+		}
+	}
+
+	if *update {
+		if err := writeBaseline(*baseline, ratios, nsop, ref); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchguard: wrote %s (%d benchmarks)\n", *baseline, len(ratios))
+		return
+	}
+
+	want, err := readBaseline(*baseline)
+	if err != nil {
+		fatal(fmt.Errorf("%w (run `go run ./cmd/benchguard -update` to create it)", err))
+	}
+	var failures []string
+	for name, base := range want {
+		got, ok := ratios[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: benchmark disappeared", name))
+			continue
+		}
+		slowdown := got/base - 1
+		status := "ok"
+		if slowdown > *tolerance {
+			status = "REGRESSION"
+			failures = append(failures,
+				fmt.Sprintf("%s: ratio %.3f vs baseline %.3f (%+.1f%% > %.0f%% tolerance)",
+					name, got, base, slowdown*100, *tolerance*100))
+		}
+		fmt.Printf("benchguard: %-34s ratio %.3f (baseline %.3f, %+.1f%%) %s\n",
+			name, got, base, slowdown*100, status)
+	}
+	for name := range ratios {
+		if _, ok := want[name]; !ok {
+			fmt.Printf("benchguard: %-34s ratio %.3f (no baseline; run -update to pin)\n", name, ratios[name])
+		}
+	}
+	if len(failures) > 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: FAIL")
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: PASS")
+}
+
+// runBenchmarks executes the benchmark suite count times and parses
+// ns/op per benchmark (the -N CPU suffix is stripped), keeping the
+// fastest of the repeated runs — the standard noise-robust statistic,
+// which keeps the ratios stable on contended CI machines.
+func runBenchmarks(pattern, benchtime string, count int) (map[string]float64, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
+		"-benchtime", benchtime, "-count", fmt.Sprint(count), ".")
+	// Single-threaded on every machine: parallel speedup scales with the
+	// core count and would make the ratios machine-dependent.
+	cmd.Env = append(os.Environ(), "GOMAXPROCS=1")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("benchguard: go test: %w", err)
+	}
+	nsop := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(string(out)))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// "BenchmarkX-8  123  456789 ns/op ..."
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		idx := -1
+		for i, f := range fields {
+			if f == "ns/op" {
+				idx = i - 1
+				break
+			}
+		}
+		if idx < 1 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[idx], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		if old, ok := nsop[name]; !ok || v < old {
+			nsop[name] = v
+		}
+	}
+	if len(nsop) == 0 {
+		return nil, fmt.Errorf("benchguard: no benchmarks matched %q", pattern)
+	}
+	return nsop, nil
+}
+
+func writeBaseline(path string, ratios, nsop map[string]float64, ref float64) error {
+	names := make([]string, 0, len(ratios))
+	for name := range ratios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("# benchguard baseline: ns/op ratio of each BenchmarkExplore* to\n")
+	fmt.Fprintf(&b, "# %s, regenerated with `go run ./cmd/benchguard -update`.\n", reference)
+	fmt.Fprintf(&b, "# reference absolute: %.0f ns/op (informational, machine-dependent)\n", ref)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s %.4f # %.0f ns/op\n", name, ratios[name], nsop[name])
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func readBaseline(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("benchguard: %s:%d: want \"name ratio\", got %q", path, lineNo+1, line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchguard: %s:%d: %v", path, lineNo+1, err)
+		}
+		out[fields[0]] = v
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,11 +1,20 @@
 // Command flexos-bench regenerates the tables and figures of the FlexOS
 // paper's evaluation (§6) as text tables on the simulated machine.
 //
+// Beyond the paper's figures it regenerates the multi-metric additions:
+// "scenarios" prints every library scenario (Redis GET/SET mixes, Nginx
+// keepalive mixes, iPerf stream counts, SQLite batches) on baseline vs
+// isolated images across throughput/latency/memory/boot, and "pareto"
+// prints the safety × throughput × memory frontier of a scenario's
+// configuration space.
+//
 // Usage:
 //
 //	flexos-bench -fig all
 //	flexos-bench -fig 10 -queries 250
 //	flexos-bench -fig 6 -requests 300
+//	flexos-bench -fig scenarios
+//	flexos-bench -fig pareto -scenario redis-get90
 package main
 
 import (
@@ -17,7 +26,8 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5 | 6 | 7 | 8 | 9 | 10 | 11a | 11b | table1 | all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5 | 6 | 7 | 8 | 9 | 10 | 11a | 11b | table1 | scenarios | pareto | all")
+	scenarioName := flag.String("scenario", "redis-get90", "scenario for -fig pareto")
 	requests := flag.Int("requests", 250, "requests per configuration (Figs. 5-8)")
 	queries := flag.Int("queries", 150, "INSERT queries (Fig. 10; reported scaled to 5000)")
 	packets := flag.Int("packets", 40, "packets per buffer size (Fig. 9)")
@@ -147,6 +157,26 @@ func main() {
 	})
 	run("table1", func() error {
 		fmt.Print(figures.FormatTable1(figures.Table1()))
+		return nil
+	})
+	run("scenarios", func() error {
+		rows, err := figures.ScenarioTable()
+		if err != nil {
+			return err
+		}
+		fmt.Print(figures.FormatScenarios(rows))
+		if *csvDir != "" {
+			h, out := figures.ScenariosCSV(rows)
+			return figures.WriteCSV(*csvDir, "scenarios", h, out)
+		}
+		return nil
+	})
+	run("pareto", func() error {
+		res, err := figures.ScenarioPareto(*scenarioName, *workers)
+		if err != nil {
+			return err
+		}
+		fmt.Print(figures.FormatPareto(*scenarioName, res))
 		return nil
 	})
 }

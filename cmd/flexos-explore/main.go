@@ -5,11 +5,21 @@
 // configurations that satisfy a performance budget (the workflow behind
 // Figure 8).
 //
+// With -scenario it swaps the single-metric benchmark for a workload of
+// the multi-metric scenario library (Redis GET/SET mixes and
+// pipelining, Nginx keepalive mixes, iPerf stream counts): every
+// configuration then carries a full metric vector, the budget applies
+// to the metric chosen with -metric, and -pareto prints the safety ×
+// throughput × memory frontier.
+//
 // Usage:
 //
 //	flexos-explore -app redis -budget 500000
 //	flexos-explore -app nginx -budget 400000 -exhaustive -v
 //	flexos-explore -app cross -workers 8 -progress
+//	flexos-explore -scenario redis-get90 -pareto
+//	flexos-explore -scenario nginx-keep75 -metric p99 -budget 3
+//	flexos-explore -list
 package main
 
 import (
@@ -23,14 +33,42 @@ import (
 
 func main() {
 	app := flag.String("app", "redis", "space to explore: redis | nginx | cross (both apps x {mpk, ept})")
-	budget := flag.Float64("budget", 500_000, "minimum performance (requests/s)")
-	requests := flag.Int("requests", 200, "requests per measurement")
+	scenarioName := flag.String("scenario", "", "explore under a multi-metric scenario workload instead of -app (see -list)")
+	metricName := flag.String("metric", "throughput", "budget metric with -scenario: throughput | p50 | p99 | maxlat | mem | boot")
+	pareto := flag.Bool("pareto", false, "print the safety x throughput x memory Pareto frontier (implies -exhaustive)")
+	list := flag.Bool("list", false, "list the scenario library and exit")
+	budget := flag.Float64("budget", 500_000, "budget on the chosen metric (floor for throughput, ceiling for latency/mem/boot)")
+	requests := flag.Int("requests", 200, "requests per measurement (-app spaces; scenarios use -ops)")
+	ops := flag.Int("ops", 0, "operations per scenario measurement (<= 0: the scenario's default)")
 	workers := flag.Int("workers", 0, "concurrent measurement workers (<= 0: GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "report exploration progress on stderr")
 	exhaustive := flag.Bool("exhaustive", false, "measure every configuration (disable monotonic pruning)")
 	verbose := flag.Bool("v", false, "print every measured configuration")
 	dotPath := flag.String("dot", "", "write the labeled safety poset as a Graphviz file (Fig. 8 visual)")
 	flag.Parse()
+
+	if *list {
+		fmt.Println("scenario library:")
+		for _, sc := range flexos.Scenarios() {
+			quadNote := ""
+			if _, ok := sc.Quad(); !ok {
+				quadNote = "  (bench-only: no Fig6 space)"
+			}
+			fmt.Printf("  %-16s %s%s\n", sc.Name(), sc.Description(), quadNote)
+		}
+		return
+	}
+
+	if *scenarioName != "" {
+		exploreScenario(*scenarioName, *metricName, *budget, *ops, *workers, *progress, *exhaustive, *pareto, *verbose, *dotPath)
+		return
+	}
+	if *pareto {
+		// The scalar -app measures only throughput; a frontier over the
+		// latency/memory axes needs the full vectors of a scenario run.
+		fmt.Fprintln(os.Stderr, "flexos-explore: -pareto requires -scenario (only scenario workloads measure the memory axis)")
+		os.Exit(2)
+	}
 
 	measureRedis := func(c *flexos.ExploreConfig) (float64, error) {
 		res, err := flexos.BenchmarkRedis(c.Spec(flexos.TCBLibs()), *requests)
@@ -78,12 +116,7 @@ func main() {
 
 	opts := flexos.ExploreOptions{Workers: *workers, Prune: !*exhaustive}
 	if *progress {
-		opts.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\rexplored %d/%d configurations", done, total)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
-			}
-		}
+		opts.Progress = progressBar
 	}
 	res, err := flexos.ExploreWith(cfgs, measure, *budget, opts)
 	if err != nil {
@@ -95,33 +128,9 @@ func main() {
 	}
 
 	if *verbose {
-		sorted := make([]int, 0, len(res.Measurements))
-		for i := range res.Measurements {
-			sorted = append(sorted, i)
-		}
-		sort.Slice(sorted, func(a, b int) bool {
-			return res.Measurements[sorted[a]].Perf < res.Measurements[sorted[b]].Perf
-		})
-		for _, i := range sorted {
-			m := res.Measurements[i]
-			state := "measured"
-			if m.Pruned {
-				state = "pruned"
-			} else if m.Cached {
-				state = "cached"
-			}
-			fmt.Printf("%-9s %9.1fk req/s  %s\n", state, m.Perf/1000, m.Config.Label())
-		}
-		fmt.Println("---")
+		printAll(res)
 	}
-
-	if *dotPath != "" {
-		if err := os.WriteFile(*dotPath, []byte(res.DOT(*app)), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "flexos-explore:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote safety poset to %s (render with: dot -Tsvg)\n", *dotPath)
-	}
+	writeDOT(*dotPath, res, *app)
 
 	fmt.Printf("explored %d/%d configurations (budget %.0fk %s req/s)\n",
 		res.Evaluated, res.Total, *budget/1000, *app)
@@ -130,4 +139,102 @@ func main() {
 		m := res.Measurements[i]
 		fmt.Printf("  * %-55s %9.1fk req/s\n", m.Config.Label(), m.Perf/1000)
 	}
+}
+
+// exploreScenario runs the multi-metric path: a scenario workload over
+// the application's Figure-6 space, budgeting on the chosen metric.
+func exploreScenario(name, metricName string, budget float64, ops, workers int, progress, exhaustive, pareto, verbose bool, dotPath string) {
+	sc, ok := flexos.ScenarioByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "flexos-explore: unknown scenario %q (try -list)\n", name)
+		os.Exit(2)
+	}
+	if ops > 0 {
+		sc = sc.WithOps(ops)
+	}
+	metric, err := flexos.ParseMetric(metricName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexos-explore:", err)
+		os.Exit(2)
+	}
+
+	opts := flexos.ExploreOptions{Workers: workers, Prune: !exhaustive && !pareto}
+	if progress {
+		opts.Progress = progressBar
+	}
+	res, err := flexos.ExploreScenario(sc, metric, budget, opts)
+	if err != nil {
+		if progress {
+			fmt.Fprintln(os.Stderr)
+		}
+		fmt.Fprintln(os.Stderr, "flexos-explore:", err)
+		os.Exit(1)
+	}
+
+	if verbose {
+		printAll(res)
+	}
+	writeDOT(dotPath, res, sc.Name())
+	if pareto {
+		printPareto(res)
+	}
+
+	fmt.Printf("scenario %s: explored %d/%d configurations (budget %.4g %s on %s)\n",
+		sc.Name(), res.Evaluated, res.Total, budget, metric.Unit(), metric)
+	fmt.Printf("safest configurations under budget: %d\n", len(res.Safest))
+	for _, i := range res.Safest {
+		m := res.Measurements[i]
+		fmt.Printf("  * %-55s %s\n", m.Config.Label(), m.Metrics)
+	}
+}
+
+func progressBar(done, total int) {
+	fmt.Fprintf(os.Stderr, "\rexplored %d/%d configurations", done, total)
+	if done == total {
+		fmt.Fprintln(os.Stderr)
+	}
+}
+
+func printAll(res *flexos.ExploreResult) {
+	sorted := make([]int, 0, len(res.Measurements))
+	for i := range res.Measurements {
+		sorted = append(sorted, i)
+	}
+	sort.Slice(sorted, func(a, b int) bool {
+		if res.Measurements[sorted[a]].Perf != res.Measurements[sorted[b]].Perf {
+			return res.Measurements[sorted[a]].Perf < res.Measurements[sorted[b]].Perf
+		}
+		return sorted[a] < sorted[b]
+	})
+	for _, i := range sorted {
+		m := res.Measurements[i]
+		state := "measured"
+		if m.Pruned {
+			state = "pruned"
+		} else if m.Cached {
+			state = "cached"
+		}
+		fmt.Printf("%-9s %12.1f  %s\n", state, m.Perf, m.Config.Label())
+	}
+	fmt.Println("---")
+}
+
+func printPareto(res *flexos.ExploreResult) {
+	front := res.ParetoFront()
+	fmt.Printf("Pareto frontier (safety x throughput x memory): %d configurations\n", len(front))
+	for _, i := range front {
+		m := res.Measurements[i]
+		fmt.Printf("  - %-55s %s\n", m.Config.Label(), m.Metrics)
+	}
+}
+
+func writeDOT(path string, res *flexos.ExploreResult, name string) {
+	if path == "" {
+		return
+	}
+	if err := os.WriteFile(path, []byte(res.DOT(name)), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "flexos-explore:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote safety poset to %s (render with: dot -Tsvg)\n", path)
 }

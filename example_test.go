@@ -46,6 +46,42 @@ func ExampleExplore() {
 	// space=80 evaluated=79 safest=9
 }
 
+// ExampleExploreScenario explores the Redis design space under a mixed
+// GET/SET scenario workload, budgeting on p99 latency instead of
+// throughput, and extracts the safety × throughput × memory Pareto
+// frontier. Everything runs on the deterministic simulated machine, so
+// the counts are reproducible for any worker count.
+func ExampleExploreScenario() {
+	sc, _ := flexos.ScenarioByName("redis-get90")
+	res, _ := flexos.ExploreScenario(sc, flexos.MetricP99, 2.0,
+		flexos.ExploreOptions{Prune: true})
+	fmt.Printf("space=%d evaluated=%d safest=%d\n", res.Total, res.Evaluated, len(res.Safest))
+
+	full, _ := flexos.ExploreScenario(sc, flexos.MetricThroughput, 0, flexos.ExploreOptions{})
+	fmt.Printf("pareto=%d\n", len(full.ParetoFront()))
+	// Output:
+	// space=80 evaluated=54 safest=10
+	// pareto=12
+}
+
+// ExampleScenario_Run measures one scenario on a single image and reads
+// the full metric vector.
+func ExampleScenario_Run() {
+	sc, _ := flexos.ScenarioByName("sqlite-batch8")
+	metrics, _ := sc.Run(flexos.ImageSpec{
+		Mechanism: "none",
+		Comps: []flexos.CompSpec{{
+			Name: "c0",
+			Libs: append(flexos.TCBLibs(), sc.Components()...),
+		}},
+	})
+	fmt.Printf("ops=%d ordered=%v crossings=%d\n",
+		metrics.Ops, metrics.P50us <= metrics.P99us && metrics.P99us <= metrics.MaxUs,
+		metrics.Crossings)
+	// Output:
+	// ops=96 ordered=true crossings=0
+}
+
 // ExampleImage_NewContext shows the runtime side: spawning a thread in
 // an application compartment and crossing a gate.
 func ExampleImage_NewContext() {

@@ -29,6 +29,8 @@
 package flexos
 
 import (
+	"fmt"
+
 	"flexos/internal/config"
 	"flexos/internal/core"
 	"flexos/internal/explore"
@@ -39,6 +41,7 @@ import (
 	"flexos/internal/netstack"
 	"flexos/internal/oslib"
 	"flexos/internal/ramfs"
+	"flexos/internal/scenario"
 	"flexos/internal/timesys"
 	"flexos/internal/vfs"
 
@@ -92,6 +95,28 @@ type (
 	// ExploreMemo is a measurement cache shared across explorations,
 	// keyed by canonical configuration identity.
 	ExploreMemo = explore.Memo
+	// Metrics is the multi-metric vector one workload run produces:
+	// throughput, p50/p99/max latency, peak simulated memory, boot
+	// cycles.
+	Metrics = scenario.Metrics
+	// Metric selects the Metrics dimension a budget applies to.
+	Metric = scenario.Metric
+	// Workload runs on a built configuration and reports Metrics.
+	Workload = scenario.Workload
+	// Scenario is one entry of the shipped workload library (Redis
+	// GET/SET mixes, Nginx keepalive mixes, iPerf stream counts,
+	// SQLite transaction batches).
+	Scenario = scenario.Scenario
+)
+
+// Budget metrics for ExploreMetrics / ExploreScenario.
+const (
+	MetricThroughput = scenario.MetricThroughput
+	MetricP50        = scenario.MetricP50
+	MetricP99        = scenario.MetricP99
+	MetricMax        = scenario.MetricMax
+	MetricPeakMem    = scenario.MetricPeakMem
+	MetricBoot       = scenario.MetricBoot
 )
 
 // Gate flavors and sharing strategies.
@@ -272,4 +297,50 @@ func NewExploreMemo() *ExploreMemo { return explore.NewMemo() }
 // An empty mechanisms slice defaults to {intel-mpk, vm-ept}.
 func CrossAppSpace(mechanisms []string, apps ...[4]string) []*ExploreConfig {
 	return explore.CrossAppSpace(mechanisms, apps...)
+}
+
+// Scenarios returns the shipped multi-metric workload library, sorted
+// by name: Redis GET/SET ratios and pipelining, Nginx static/keepalive
+// mixes, iPerf stream counts, SQLite transaction batches.
+func Scenarios() []*Scenario { return scenario.All() }
+
+// ScenarioByName resolves a scenario identifier (e.g. "redis-get90").
+func ScenarioByName(name string) (*Scenario, bool) { return scenario.ByName(name) }
+
+// ParseMetric resolves a metric name ("throughput", "p50", "p99",
+// "maxlat", "mem", "boot") into a Metric selector.
+func ParseMetric(s string) (Metric, error) { return scenario.ParseMetric(s) }
+
+// MeasureScenario adapts a workload into an exploration measure
+// function: each configuration is materialized into an image spec (TCB
+// libraries joining the default compartment) and run through the
+// workload. Safe for concurrent use — every call builds a fresh image.
+func MeasureScenario(w Workload) func(*ExploreConfig) (Metrics, error) {
+	return func(c *ExploreConfig) (Metrics, error) {
+		return w.Run(c.Spec(TCBLibs()))
+	}
+}
+
+// ExploreMetrics explores a configuration space with full metric
+// vectors: the budget applies to the chosen metric (a floor for
+// throughput, a ceiling for latency/memory/boot), and the result's
+// ParetoFront() ranks the safety × throughput × memory frontier.
+// Results are byte-identical for every worker count.
+func ExploreMetrics(cfgs []*ExploreConfig, measure func(*ExploreConfig) (Metrics, error), metric Metric, budget float64, opts ExploreOptions) (*ExploreResult, error) {
+	return explore.RunMetrics(cfgs, measure, metric, budget, opts)
+}
+
+// ExploreScenario explores an application's Figure-6 configuration
+// space under a scenario workload, budgeting on the given metric. The
+// scenario must drive a four-component application (Redis, Nginx,
+// iPerf); SQLite scenarios have no Fig6Space shape and return an error.
+func ExploreScenario(sc *Scenario, metric Metric, budget float64, opts ExploreOptions) (*ExploreResult, error) {
+	quad, ok := sc.Quad()
+	if !ok {
+		return nil, fmt.Errorf("flexos: scenario %s has no four-component space; use ExploreMetrics with a custom space", sc.Name())
+	}
+	if opts.Memo != nil && opts.Workload == "" {
+		opts.Workload = fmt.Sprintf("%s/%d", sc.Name(), sc.Ops())
+	}
+	return explore.RunMetrics(explore.Fig6Space(quad), MeasureScenario(sc), metric, budget, opts)
 }

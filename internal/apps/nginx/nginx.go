@@ -29,15 +29,17 @@ var Components = []string{Name, libc.Name, oslib.SchedName, netstack.Name}
 const (
 	serveWork        = 1150
 	routeWork        = 240
+	acceptWork       = 420 // accept(2) + connection object setup
 	schedCallsPerReq = 1
 	bodySize         = 128
 )
 
 // State is the per-image server state: the static file cache.
 type State struct {
-	files  map[string]uintptr // path -> private heap buffer (bodySize)
-	sock   int
-	served uint64
+	files    map[string]uintptr // path -> private heap buffer (bodySize)
+	sock     int
+	served   uint64
+	accepted uint64
 }
 
 // Register adds libnginx to a catalog (Table 1: +470/-85, 36 shared
@@ -132,12 +134,32 @@ func Register(cat *core.Catalog) *State {
 			return true, nil
 		},
 	})
+	// accept_conn models accepting a fresh TCP connection: the
+	// non-keepalive half of the static/keepalive scenario mixes. It
+	// touches the network stack (handshake bookkeeping) and wakes the
+	// event loop, but reuses the listening socket's queue.
+	c.AddFunc(&core.Func{
+		Name: "accept_conn", Work: acceptWork, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			if _, err := ctx.Call(netstack.Name, "pending", st.sock); err != nil {
+				return nil, err
+			}
+			if _, err := ctx.Call(oslib.SchedName, "wake"); err != nil {
+				return nil, err
+			}
+			st.accepted++
+			return st.accepted, nil
+		},
+	})
 	cat.MustRegister(c)
 	return st
 }
 
 // Served returns the number of completed requests (test hook).
 func (st *State) Served() uint64 { return st.served }
+
+// Accepted returns the number of accepted connections (test hook).
+func (st *State) Accepted() uint64 { return st.accepted }
 
 // Catalog builds a fresh catalog with everything an Nginx image needs.
 func Catalog() (*core.Catalog, *State) {

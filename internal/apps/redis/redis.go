@@ -29,6 +29,7 @@ var Components = []string{Name, libc.Name, oslib.SchedName, netstack.Name}
 const (
 	serveWork        = 560 // event loop + command dispatch
 	lookupWork       = 290 // hash + dict walk
+	storeWork        = 340 // dict insert + value copy bookkeeping
 	schedCallsPerReq = 10
 	valueSize        = 16
 	requestBytes     = "GET key\r\n"
@@ -41,6 +42,7 @@ type State struct {
 	sock   int
 	hits   uint64
 	misses uint64
+	sets   uint64
 }
 
 // Register adds libredis to a catalog (Table 1: +279/-90, 16 shared
@@ -86,27 +88,11 @@ func Register(cat *core.Catalog) *State {
 	c.AddFunc(&core.Func{
 		Name: "serve_get", Work: serveWork, EntryPoint: true,
 		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
-			// Shared request buffer on the stack: a DSS shadow slot
-			// under the default sharing strategy (Fig. 4).
-			reqBuf, err := ctx.StackAlloc(64, true)
+			reqBuf, n, cmd, err := st.recvCommand(ctx)
 			if err != nil {
 				return nil, err
 			}
-			v, err := ctx.Call(netstack.Name, "recv", st.sock, reqBuf, 64)
-			if err != nil {
-				return nil, err
-			}
-			n := v.(int)
-			if n == 0 {
-				st.misses++
-				return false, nil
-			}
-			// Parse the command name, then the key.
-			cmdAny, err := ctx.Call(libc.Name, "parse", reqBuf, n)
-			if err != nil {
-				return nil, err
-			}
-			if cmdAny.(string) != "GET" {
+			if n == 0 || cmd != "GET" {
 				st.misses++
 				return false, nil
 			}
@@ -131,34 +117,59 @@ func Register(cat *core.Catalog) *State {
 				st.misses++
 			}
 
-			// Format and transmit the reply from a shared buffer.
-			repBuf, err := ctx.StackAlloc(64, true)
+			if err := st.sendReply(ctx, reply); err != nil {
+				return nil, err
+			}
+			if err := eventLoopChatter(ctx); err != nil {
+				return nil, err
+			}
+			return hit, nil
+		},
+	})
+	// serve_set handles one SET request end to end: parse, store the
+	// value into the compartment's private heap (reusing the slot on
+	// overwrite), acknowledge. It is the write half of the GET/SET mixes
+	// the multi-metric scenarios run.
+	c.AddFunc(&core.Func{
+		Name: "serve_set", Work: serveWork, EntryPoint: true,
+		Impl: func(ctx *core.Ctx, args ...any) (any, error) {
+			reqBuf, n, cmd, err := st.recvCommand(ctx)
 			if err != nil {
 				return nil, err
 			}
-			nv, err := ctx.Call(libc.Name, "format", repBuf, reply)
-			if err != nil {
-				return nil, err
+			if n == 0 || cmd != "SET" {
+				st.misses++
+				return false, nil
 			}
-			if _, err := ctx.Call(netstack.Name, "send", st.sock, repBuf, nv.(int)); err != nil {
+			key, val, err := st.parseKeyValue(ctx, reqBuf, n)
+			if err != nil {
 				return nil, err
 			}
 
-			// Event-loop bookkeeping: the scheduler chatter that makes
-			// isolating uksched expensive for Redis.
-			for i := 0; i < schedCallsPerReq; i++ {
-				fn := "wake"
-				switch i % 3 {
-				case 1:
-					fn = "block_poll"
-				case 2:
-					fn = "timer_arm"
-				}
-				if _, err := ctx.Call(oslib.SchedName, fn); err != nil {
+			// Dict insert: overwrite in place, or allocate a fresh private
+			// value slot.
+			ctx.Charge(lookupWork + storeWork)
+			addr, ok := st.values[key]
+			if !ok {
+				if addr, err = ctx.AllocPrivate(valueSize); err != nil {
 					return nil, err
 				}
+				st.values[key] = addr
 			}
-			return hit, nil
+			stored := make([]byte, valueSize)
+			copy(stored, val)
+			if err := ctx.Write(addr, stored); err != nil {
+				return nil, err
+			}
+			st.sets++
+
+			if err := st.sendReply(ctx, "+OK\r\n"); err != nil {
+				return nil, err
+			}
+			if err := eventLoopChatter(ctx); err != nil {
+				return nil, err
+			}
+			return true, nil
 		},
 	})
 	cat.MustRegister(c)
@@ -185,6 +196,100 @@ func (st *State) parseKey(ctx *core.Ctx, buf uintptr, n int) (string, error) {
 	}
 	return key, nil
 }
+
+// parseKeyValue extracts the key and value tokens after "SET ".
+func (st *State) parseKeyValue(ctx *core.Ctx, buf uintptr, n int) (string, string, error) {
+	raw := make([]byte, n)
+	if err := ctx.Read(buf, raw); err != nil {
+		return "", "", err
+	}
+	s := string(raw)
+	const prefix = "SET "
+	if len(s) <= len(prefix) {
+		return "", "", fmt.Errorf("redis: malformed request %q", s)
+	}
+	rest := s[len(prefix):]
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == '\r' || rest[i] == '\n' {
+			rest = rest[:i]
+			break
+		}
+	}
+	key := rest
+	val := ""
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == ' ' {
+			key, val = rest[:i], rest[i+1:]
+			break
+		}
+	}
+	if key == "" {
+		return "", "", fmt.Errorf("redis: malformed SET %q", s)
+	}
+	return key, val, nil
+}
+
+// recvCommand runs the shared request prologue: allocate the DSS
+// request buffer, receive into it, and parse the command token. A
+// (0, 0, "", nil) return means the rx queue was empty.
+func (st *State) recvCommand(ctx *core.Ctx) (buf uintptr, n int, cmd string, err error) {
+	// Shared request buffer on the stack: a DSS shadow slot under the
+	// default sharing strategy (Fig. 4).
+	buf, err = ctx.StackAlloc(64, true)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	v, err := ctx.Call(netstack.Name, "recv", st.sock, buf, 64)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	n = v.(int)
+	if n == 0 {
+		return buf, 0, "", nil
+	}
+	cmdAny, err := ctx.Call(libc.Name, "parse", buf, n)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	return buf, n, cmdAny.(string), nil
+}
+
+// sendReply formats a reply into a fresh shared buffer and transmits
+// it — the epilogue both command paths share.
+func (st *State) sendReply(ctx *core.Ctx, reply string) error {
+	repBuf, err := ctx.StackAlloc(64, true)
+	if err != nil {
+		return err
+	}
+	nv, err := ctx.Call(libc.Name, "format", repBuf, reply)
+	if err != nil {
+		return err
+	}
+	_, err = ctx.Call(netstack.Name, "send", st.sock, repBuf, nv.(int))
+	return err
+}
+
+// eventLoopChatter is the per-request scheduler bookkeeping that makes
+// isolating uksched expensive for Redis (~10 calls per request),
+// identical on the GET and SET paths.
+func eventLoopChatter(ctx *core.Ctx) error {
+	for i := 0; i < schedCallsPerReq; i++ {
+		fn := "wake"
+		switch i % 3 {
+		case 1:
+			fn = "block_poll"
+		case 2:
+			fn = "timer_arm"
+		}
+		if _, err := ctx.Call(oslib.SchedName, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sets returns the number of successful SETs (test hook).
+func (st *State) Sets() uint64 { return st.sets }
 
 // Hits returns the number of successful GETs (test hook).
 func (st *State) Hits() uint64 { return st.hits }

@@ -1,0 +1,82 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParseConfig fuzzes the configuration-file parser, seeded with the
+// five shipped configs/*.yaml examples plus adversarial shapes. The
+// parser must never panic or hang: any input either parses into a
+// Config that validates and survives a Render/Parse round trip, or
+// returns an error.
+func FuzzParseConfig(f *testing.F) {
+	// Seed with the real example files.
+	dir := filepath.Join("..", "..", "configs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatalf("reading seed corpus %s: %v", dir, err)
+	}
+	seeded := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".yaml" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+		seeded++
+	}
+	if seeded < 5 {
+		f.Fatalf("only %d yaml seeds in %s, want the 5 shipped examples", seeded, dir)
+	}
+
+	// Adversarial hand seeds: odd indentation, dashes, truncations,
+	// tabs, comments, CRLF, unicode.
+	for _, s := range []string{
+		"",
+		"compartments:",
+		"compartments:\n- :\n",
+		"compartments:\n-\n",
+		"compartments:\n- c1:\n    mechanism\n",
+		"compartments:\n- c1:\n\tmechanism: mpk\n",
+		"compartments:\r\n- c1:\r\n    default: true\r\n",
+		"libraries:\n- a\n",
+		"libraries:\n- a: b: c\n",
+		"gate:\nsharing:\n",
+		"gate: full\ngate: light\n",
+		"compartments:\n- c1:\n    hardening: [\n",
+		"compartments:\n- c1:\n    hardening: ]\n",
+		"compartments:\n- c1:\n    hardening: [,,]\n",
+		"# only a comment\n",
+		"compartments:\n- ünïcödé:\n    mechanism: mpk\nlibraries:\n- lib: ünïcödé\n",
+		"compartments:\n  - c1:\n      mechanism: mpk\nlibraries:\n  - l: c1\n",
+	} {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, input string) {
+		cfg, err := Parse(input)
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		// Accepted inputs must satisfy the validator's invariants...
+		if err := Validate(cfg); err != nil {
+			t.Fatalf("Parse accepted input that fails Validate: %v\ninput: %q", err, input)
+		}
+		// ...and survive a render/re-parse round trip.
+		rendered := Render(cfg)
+		cfg2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parsing rendered config failed: %v\nrendered: %q\ninput: %q", err, rendered, input)
+		}
+		if len(cfg2.Compartments) != len(cfg.Compartments) || len(cfg2.Libraries) != len(cfg.Libraries) {
+			t.Fatalf("round trip changed shape: %d/%d compartments, %d/%d libraries\ninput: %q",
+				len(cfg.Compartments), len(cfg2.Compartments),
+				len(cfg.Libraries), len(cfg2.Libraries), input)
+		}
+	})
+}

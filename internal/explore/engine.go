@@ -5,9 +5,11 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"flexos/internal/scenario"
 )
 
-// Options configures a RunOpts exploration.
+// Options configures a RunOpts / RunMetrics exploration.
 type Options struct {
 	// Workers is the number of concurrent measurement goroutines; values
 	// <= 0 select runtime.GOMAXPROCS(0). The result is identical for
@@ -16,8 +18,8 @@ type Options struct {
 	Workers int
 
 	// Prune enables poset-aware monotonic pruning (§5): a configuration
-	// is skipped when a strictly-less-safe ancestor already fell below
-	// the budget. The engine keeps pruning sound under concurrent
+	// is skipped when a strictly-less-safe ancestor already missed the
+	// budget. The engine keeps pruning sound under concurrent
 	// completion order by deferring every decision about a configuration
 	// until all of its poset predecessors are decided.
 	Prune bool
@@ -27,10 +29,13 @@ type Options struct {
 	// shared by several spaces are measured once. Share one Memo only
 	// among runs whose measure functions agree for identical configs —
 	// use Workload to namespace different benchmarks within one Memo.
+	// Entries carry full metric vectors, so runs budgeting on different
+	// metrics can share a memo as long as the workload matches.
 	Memo *Memo
 
-	// Workload namespaces memo keys (e.g. "redis", "nginx"), letting a
-	// single Memo serve several measure functions without collisions.
+	// Workload namespaces memo keys (e.g. "redis", "nginx",
+	// "redis-get90/240"), letting a single Memo serve several measure
+	// functions without collisions.
 	Workload string
 
 	// Progress, when non-nil, is called after each configuration is
@@ -43,16 +48,17 @@ type Options struct {
 // Memo is a concurrency-safe measurement cache keyed by canonical
 // configuration identity. A Memo may be shared by concurrent runs; a
 // measurement in flight is joined rather than repeated, and failed
-// measurements are not cached (a later run retries them).
+// measurements are not cached (a later run retries them). Each entry
+// stores the full metric vector of the measurement.
 type Memo struct {
 	mu      sync.Mutex
 	entries map[string]*memoEntry
 }
 
 type memoEntry struct {
-	done chan struct{}
-	perf float64
-	err  error
+	done    chan struct{}
+	metrics Metrics
+	err     error
 }
 
 // NewMemo returns an empty measurement cache.
@@ -65,28 +71,28 @@ func (m *Memo) Len() int {
 	return len(m.entries)
 }
 
-// do returns the cached value for key or computes it with f, joining an
+// do returns the cached vector for key or computes it with f, joining an
 // in-flight computation if one exists. hit reports whether the value
 // predates this call.
-func (m *Memo) do(key string, f func() (float64, error)) (perf float64, hit bool, err error) {
+func (m *Memo) do(key string, f func() (Metrics, error)) (mx Metrics, hit bool, err error) {
 	m.mu.Lock()
 	if e, ok := m.entries[key]; ok {
 		m.mu.Unlock()
 		<-e.done
-		return e.perf, true, e.err
+		return e.metrics, true, e.err
 	}
 	e := &memoEntry{done: make(chan struct{})}
 	m.entries[key] = e
 	m.mu.Unlock()
 
-	e.perf, e.err = f()
+	e.metrics, e.err = f()
 	if e.err != nil {
 		m.mu.Lock()
 		delete(m.entries, key)
 		m.mu.Unlock()
 	}
 	close(e.done)
-	return e.perf, false, e.err
+	return e.metrics, false, e.err
 }
 
 // RunOpts explores a configuration space with a parallel, memoized
@@ -101,6 +107,18 @@ func (m *Memo) do(key string, f func() (float64, error)) (perf float64, hit bool
 // within one space are measured once here: the lowest-index occurrence
 // measures, the twins inherit the value with Cached set.
 func RunOpts(cfgs []*Config, measure Measure, budget float64, opts Options) (*Result, error) {
+	return RunMetrics(cfgs, liftMeasure(measure), scenario.MetricThroughput, budget, opts)
+}
+
+// RunMetrics is the multi-metric form of RunOpts: measurements carry
+// full metric vectors, the budget applies to the chosen metric (a floor
+// for throughput, a ceiling for latency/memory/boot metrics), and the
+// result exposes ParetoFront(). Like RunOpts it is byte-identical for
+// every worker count and matches RunMetricsSequential exactly.
+func RunMetrics(cfgs []*Config, measure MeasureMetrics, metric Metric, budget float64, opts Options) (*Result, error) {
+	if metric == "" {
+		metric = scenario.MetricThroughput
+	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -114,6 +132,7 @@ func RunOpts(cfgs []*Config, measure Measure, budget float64, opts Options) (*Re
 		Measurements: make([]Measurement, len(cfgs)),
 		Total:        len(cfgs),
 		Budget:       budget,
+		Metric:       metric,
 		poset:        p,
 	}
 	for i, c := range cfgs {
@@ -148,10 +167,10 @@ func RunOpts(cfgs []*Config, measure Measure, budget float64, opts Options) (*Re
 	// Worker pool. Workers only run measure (through the memo); all
 	// scheduling state below is owned by this goroutine.
 	type outcome struct {
-		idx  int
-		perf float64
-		hit  bool
-		err  error
+		idx     int
+		metrics Metrics
+		hit     bool
+		err     error
 	}
 	jobs := make(chan int, n)
 	outcomes := make(chan outcome, n)
@@ -164,11 +183,11 @@ func RunOpts(cfgs []*Config, measure Measure, budget float64, opts Options) (*Re
 				var o outcome
 				o.idx = i
 				if opts.Memo != nil {
-					o.perf, o.hit, o.err = opts.Memo.do(keys[i], func() (float64, error) {
+					o.metrics, o.hit, o.err = opts.Memo.do(keys[i], func() (Metrics, error) {
 						return measure(cfgs[i])
 					})
 				} else {
-					o.perf, o.err = measure(cfgs[i])
+					o.metrics, o.err = measure(cfgs[i])
 				}
 				outcomes <- o
 			}
@@ -177,9 +196,9 @@ func RunOpts(cfgs []*Config, measure Measure, budget float64, opts Options) (*Re
 
 	var (
 		remaining   = make([]int, n) // undecided predecessors
-		belowBudget = make([]bool, n)
+		failsBudget = make([]bool, n)
 		decided     = make([]bool, n)
-		valued      = make([]bool, n)  // index holds a perf value
+		valued      = make([]bool, n)  // index holds a metric vector
 		waiters     = make([][]int, n) // twins waiting on their canonical index
 		toProp      []int              // decided nodes whose successors need updating
 		inFlight    int
@@ -199,9 +218,10 @@ func RunOpts(cfgs []*Config, measure Measure, budget float64, opts Options) (*Re
 		}
 		toProp = append(toProp, i)
 	}
-	fill := func(i int, perf float64, cached bool) {
+	fill := func(i int, mx Metrics, cached bool) {
 		m := &res.Measurements[i]
-		m.Perf = perf
+		m.Metrics = mx
+		m.Perf = metric.Value(mx)
 		m.Evaluated = true
 		m.Cached = cached
 		if cached {
@@ -210,17 +230,17 @@ func RunOpts(cfgs []*Config, measure Measure, budget float64, opts Options) (*Re
 			res.Evaluated++
 		}
 		valued[i] = true
-		if perf < budget {
-			belowBudget[i] = true
+		if !metric.Meets(m.Perf, budget) {
+			failsBudget[i] = true
 		}
 		markDecided(i)
 	}
 	ready := func(i int) {
 		if opts.Prune {
 			for _, pr := range preds[i] {
-				if belowBudget[pr] {
+				if failsBudget[pr] {
 					res.Measurements[i].Pruned = true
-					belowBudget[i] = true // propagate
+					failsBudget[i] = true // propagate
 					markDecided(i)
 					return
 				}
@@ -231,7 +251,7 @@ func RunOpts(cfgs []*Config, measure Measure, budget float64, opts Options) (*Re
 			// wait for it (twins share predecessor sets, so the
 			// canonical node is ready by now too).
 			if valued[c] {
-				fill(i, res.Measurements[c].Perf, true)
+				fill(i, res.Measurements[c].Metrics, true)
 			} else {
 				waiters[c] = append(waiters[c], i)
 			}
@@ -277,9 +297,9 @@ func RunOpts(cfgs []*Config, measure Measure, budget float64, opts Options) (*Re
 		if failed {
 			continue
 		}
-		fill(o.idx, o.perf, o.hit)
+		fill(o.idx, o.metrics, o.hit)
 		for _, w := range waiters[o.idx] {
-			fill(w, o.perf, true)
+			fill(w, o.metrics, true)
 		}
 		waiters[o.idx] = nil
 		drain()
@@ -296,14 +316,6 @@ func RunOpts(cfgs []*Config, measure Measure, budget float64, opts Options) (*Re
 			cfgs[o.idx].ID, cfgs[o.idx].Label(), o.err)
 	}
 
-	index := make(map[*Config]int, n)
-	for i, c := range cfgs {
-		index[c] = i
-	}
-	res.Safest = p.Maximal(func(c *Config) bool {
-		m := res.Measurements[index[c]]
-		return m.Evaluated && m.Perf >= budget
-	})
-	sort.Ints(res.Safest)
+	res.Safest = safest(p, res, metric, budget)
 	return res, nil
 }

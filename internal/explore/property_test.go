@@ -1,0 +1,213 @@
+package explore
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"flexos/internal/harden"
+	"flexos/internal/isolation"
+)
+
+// Property tests for pruning soundness: on random configuration spaces
+// with random safety-monotone measure functions and random budgets, the
+// pruning engines must agree exactly with a brute-force oracle that
+// measures everything.
+
+var propComponents = []string{"app", "libc", "sched", "net"}
+
+// randomPartition splits the four components into 1..4 blocks.
+func randomPartition(rng *rand.Rand) [][]string {
+	nblocks := rng.Intn(4) + 1
+	blocks := make([][]string, nblocks)
+	for i, comp := range propComponents {
+		b := rng.Intn(nblocks)
+		if i < nblocks {
+			b = i // guarantee no block is empty
+		}
+		blocks[b] = append(blocks[b], comp)
+	}
+	return blocks
+}
+
+var propTechs = []harden.Tech{harden.CFI, harden.KASan, harden.UBSan, harden.StackProtector}
+
+// randomSpace generates n random configurations: random partitions,
+// per-component hardening subsets, mechanisms, gates and sharing
+// strategies. Duplicates are allowed (the engine must handle twins).
+func randomSpace(rng *rand.Rand, n int) []*Config {
+	mechs := []string{"none", "intel-mpk", "vm-ept"}
+	gates := []isolation.GateMode{isolation.GateLight, isolation.GateFull}
+	sharings := []isolation.Sharing{isolation.ShareStack, isolation.ShareDSS, isolation.ShareHeap}
+	cfgs := make([]*Config, n)
+	for i := range cfgs {
+		h := make(map[string]harden.Set)
+		for _, comp := range propComponents {
+			var techs []harden.Tech
+			for _, tech := range propTechs {
+				if rng.Intn(2) == 0 {
+					techs = append(techs, tech)
+				}
+			}
+			if len(techs) > 0 {
+				h[comp] = harden.NewSet(techs...)
+			}
+		}
+		cfgs[i] = &Config{
+			ID:        i,
+			Blocks:    randomPartition(rng),
+			Hardening: h,
+			Mechanism: mechs[rng.Intn(len(mechs))],
+			GateMode:  gates[rng.Intn(len(gates))],
+			Sharing:   sharings[rng.Intn(len(sharings))],
+		}
+	}
+	return cfgs
+}
+
+// monotoneMeasure builds a measure function with random positive
+// weights that is decreasing along the safety order: every dimension
+// the Leq relation compares contributes non-negatively to cost, so
+// a ≤ b implies measure(a) >= measure(b) — the §5 assumption pruning
+// relies on.
+func monotoneMeasure(rng *rand.Rand) Measure {
+	wComp := float64(rng.Intn(200) + 1)
+	wStrength := float64(rng.Intn(300) + 1)
+	wGate := float64(rng.Intn(50) + 1)
+	wShare := float64(rng.Intn(50) + 1)
+	wTech := make(map[harden.Tech]float64, len(propTechs))
+	for _, tech := range propTechs {
+		wTech[tech] = float64(rng.Intn(40) + 1)
+	}
+	return func(c *Config) (float64, error) {
+		cost := wComp*float64(c.NumCompartments()-1) +
+			wStrength*float64(c.strength()) +
+			wGate*float64(c.gateRank()) +
+			wShare*float64(c.sharingRank())
+		for _, comp := range c.Components() {
+			for _, tech := range propTechs {
+				if c.Hardening[comp].Has(tech) {
+					cost += wTech[tech]
+				}
+			}
+		}
+		return 100_000 - cost, nil
+	}
+}
+
+// TestPruningSoundnessVsBruteForceOracle is the main property: for
+// random spaces, random monotone measures and random budgets, both the
+// sequential and the parallel pruning engines must (a) never prune a
+// configuration that would have met the budget, and (b) report exactly
+// the safest set the exhaustive oracle derives.
+func TestPruningSoundnessVsBruteForceOracle(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfgs := randomSpace(rng, 60)
+		measure := monotoneMeasure(rng)
+
+		// Brute force: measure everything, no pruning.
+		oracle, err := Run(cfgs, measure, 0, false)
+		if err != nil {
+			t.Fatalf("seed %d: oracle: %v", seed, err)
+		}
+		perfs := make([]float64, len(cfgs))
+		for i, m := range oracle.Measurements {
+			perfs[i] = m.Perf
+		}
+
+		// Random budgets: quantiles of the measured distribution plus
+		// extremes that prune nothing / everything.
+		sorted := append([]float64(nil), perfs...)
+		sort.Float64s(sorted)
+		budgets := []float64{
+			sorted[0] - 1,
+			sorted[len(sorted)/4],
+			sorted[len(sorted)/2],
+			sorted[3*len(sorted)/4],
+			sorted[len(sorted)-1] + 1,
+		}
+		for _, budget := range budgets {
+			wantSafest := oracle.Poset().Maximal(func(c *Config) bool {
+				return perfs[indexOf(cfgs, c)] >= budget
+			})
+			sort.Ints(wantSafest)
+
+			seq, err := Run(randomSpaceCopy(cfgs), measure, budget, true)
+			if err != nil {
+				t.Fatalf("seed %d budget %v: sequential: %v", seed, budget, err)
+			}
+			par, err := RunOpts(randomSpaceCopy(cfgs), measure, budget, Options{Prune: true, Workers: 4})
+			if err != nil {
+				t.Fatalf("seed %d budget %v: parallel: %v", seed, budget, err)
+			}
+			for name, res := range map[string]*Result{"sequential": seq, "parallel": par} {
+				if !reflect.DeepEqual(res.Safest, wantSafest) {
+					t.Fatalf("seed %d budget %v: %s safest %v, oracle %v",
+						seed, budget, name, res.Safest, wantSafest)
+				}
+				for i, m := range res.Measurements {
+					if m.Pruned && perfs[i] >= budget {
+						t.Fatalf("seed %d budget %v: %s pruned config %d with perf %v >= budget",
+							seed, budget, name, i, perfs[i])
+					}
+					if m.Evaluated && m.Perf != perfs[i] {
+						t.Fatalf("seed %d budget %v: %s perf diverges at %d: %v vs %v",
+							seed, budget, name, i, m.Perf, perfs[i])
+					}
+				}
+			}
+			if seq.Evaluated < par.Evaluated {
+				// The parallel engine dedups twins, so it can only
+				// measure fewer fresh configurations, never more.
+				t.Fatalf("seed %d budget %v: parallel measured more (%d) than sequential (%d)",
+					seed, budget, par.Evaluated, seq.Evaluated)
+			}
+		}
+	}
+}
+
+func indexOf(cfgs []*Config, c *Config) int {
+	for i := range cfgs {
+		if cfgs[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// randomSpaceCopy clones a space so each engine run builds its own
+// poset over fresh pointers (Results key Maximal by pointer identity).
+func randomSpaceCopy(cfgs []*Config) []*Config {
+	out := make([]*Config, len(cfgs))
+	for i, c := range cfgs {
+		cc := *c
+		out[i] = &cc
+	}
+	return out
+}
+
+// TestLeqIsPartialOrderOnRandomSpaces validates the safety relation
+// itself on random configuration spaces — the foundation the pruning
+// argument rests on.
+func TestLeqIsPartialOrderOnRandomSpaces(t *testing.T) {
+	for seed := int64(50); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfgs := randomSpace(rng, 50)
+		p := Poset(cfgs)
+		if err := p.CheckOrder(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Antisymmetry up to canonical identity: mutual order implies
+		// the same canonical key.
+		for i := range cfgs {
+			for j := range cfgs {
+				if i != j && p.Leq(i, j) && p.Leq(j, i) && cfgs[i].Key() != cfgs[j].Key() {
+					t.Fatalf("seed %d: configs %d and %d mutually ordered with distinct keys\n%s\n%s",
+						seed, i, j, cfgs[i].Key(), cfgs[j].Key())
+				}
+			}
+		}
+	}
+}

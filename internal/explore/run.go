@@ -5,25 +5,62 @@ import (
 	"sort"
 
 	"flexos/internal/poset"
+	"flexos/internal/scenario"
+)
+
+// Metrics is the full metric vector a measurement produces; Metric
+// selects the dimension a budget is expressed on. Both are aliases of
+// the scenario package's types, so scenario workloads plug into the
+// engine directly.
+type (
+	Metrics = scenario.Metrics
+	Metric  = scenario.Metric
 )
 
 // Measure benchmarks one configuration and returns its performance
 // metric (higher is better: requests/s, Gb/s, 1/latency — any metric
-// "comparable across configurations and runs", §5).
+// "comparable across configurations and runs", §5). It is the scalar
+// form; MeasureMetrics is the multi-metric one.
 type Measure func(*Config) (float64, error)
+
+// MeasureMetrics benchmarks one configuration and returns its full
+// metric vector (throughput, latency percentiles, peak memory, boot
+// cost). The engine budgets on one dimension — the run's Metric — and
+// carries the whole vector through results, memos and Pareto frontiers.
+type MeasureMetrics func(*Config) (Metrics, error)
+
+// liftMeasure adapts a scalar measure into a metric-vector measure with
+// only the throughput dimension populated.
+func liftMeasure(measure Measure) MeasureMetrics {
+	return func(c *Config) (Metrics, error) {
+		v, err := measure(c)
+		if err != nil {
+			return Metrics{}, err
+		}
+		return Metrics{Throughput: v}, nil
+	}
+}
 
 // Measurement is one labeled poset node.
 type Measurement struct {
 	Config *Config
-	// Perf is the measured performance (0 when pruned).
+	// Perf is the budget metric's value in natural units (0 when
+	// pruned): for the default throughput metric, operations per
+	// second; for latency metrics, microseconds; for mem/boot, bytes
+	// and cycles.
 	Perf float64
+	// Metrics is the full metric vector of the measurement (zero when
+	// pruned, or when a scalar Measure produced only Perf — then just
+	// the throughput dimension is populated).
+	Metrics Metrics
 	// Evaluated is false when monotonic pruning skipped the run.
 	Evaluated bool
 	// Pruned is true when a less-safe ancestor already missed the
 	// budget, so this config could not meet it either.
 	Pruned bool
-	// Cached is true when the parallel engine filled Perf from a memo
-	// hit or from an identical configuration instead of a fresh run.
+	// Cached is true when the parallel engine filled the vector from a
+	// memo hit or from an identical configuration instead of a fresh
+	// run.
 	Cached bool
 }
 
@@ -43,8 +80,10 @@ type Result struct {
 	// an identical twin within the space instead of a fresh run
 	// (parallel engine only; always 0 for the sequential reference).
 	MemoHits int
-	// Budget echoes the performance floor used.
+	// Budget echoes the performance floor (or, for lower-is-better
+	// metrics, ceiling) used; Metric the dimension it applies to.
 	Budget float64
+	Metric Metric
 
 	poset *poset.Poset[*Config]
 }
@@ -63,11 +102,27 @@ func (r *Result) Poset() *poset.Poset[*Config] { return r.poset }
 // engine, which returns byte-identical results; Run survives as the
 // independent oracle the engine's tests compare against.
 func Run(cfgs []*Config, measure Measure, budget float64, prune bool) (*Result, error) {
+	return RunMetricsSequential(cfgs, liftMeasure(measure), scenario.MetricThroughput, budget, prune)
+}
+
+// RunMetricsSequential is the sequential reference engine for
+// multi-metric measurement: like Run, but carrying full metric vectors
+// and budgeting on the chosen metric. For lower-is-better metrics
+// (latency percentiles, memory, boot) the budget is a ceiling and
+// pruning cuts configurations whose less-safe ancestor already exceeds
+// it — sound under the same monotonicity assumption, since every cost
+// metric worsens with safety. It is the oracle RunMetrics' tests
+// compare against.
+func RunMetricsSequential(cfgs []*Config, measure MeasureMetrics, metric Metric, budget float64, prune bool) (*Result, error) {
+	if metric == "" {
+		metric = scenario.MetricThroughput
+	}
 	p := Poset(cfgs)
 	res := &Result{
 		Measurements: make([]Measurement, len(cfgs)),
 		Total:        len(cfgs),
 		Budget:       budget,
+		Metric:       metric,
 		poset:        p,
 	}
 	for i, c := range cfgs {
@@ -80,48 +135,53 @@ func Run(cfgs []*Config, measure Measure, budget float64, prune bool) (*Result, 
 		preds[e[1]] = append(preds[e[1]], e[0])
 	}
 
-	belowBudget := make([]bool, len(cfgs))
+	failsBudget := make([]bool, len(cfgs))
 	for _, i := range p.TopoOrder() {
 		if prune {
 			skip := false
 			for _, pr := range preds[i] {
-				if belowBudget[pr] {
+				if failsBudget[pr] {
 					skip = true
 					break
 				}
 			}
 			if skip {
 				res.Measurements[i].Pruned = true
-				belowBudget[i] = true // propagate
+				failsBudget[i] = true // propagate
 				continue
 			}
 		}
-		perf, err := measure(cfgs[i])
+		mx, err := measure(cfgs[i])
 		if err != nil {
 			return nil, fmt.Errorf("explore: measuring config %d (%s): %w", cfgs[i].ID, cfgs[i].Label(), err)
 		}
-		res.Measurements[i].Perf = perf
+		res.Measurements[i].Metrics = mx
+		res.Measurements[i].Perf = metric.Value(mx)
 		res.Measurements[i].Evaluated = true
 		res.Evaluated++
-		if perf < budget {
-			belowBudget[i] = true
+		if !metric.Meets(res.Measurements[i].Perf, budget) {
+			failsBudget[i] = true
 		}
 	}
 
-	// Safest-under-budget: maximal elements among nodes meeting the
-	// budget. Pruned nodes cannot meet it by the monotonicity
-	// assumption.
-	index := make(map[*Config]int, len(cfgs))
-	for i, c := range cfgs {
-		index[c] = i
-	}
-	meets := func(c *Config) bool {
-		m := res.Measurements[index[c]]
-		return m.Evaluated && m.Perf >= budget
-	}
-	res.Safest = p.Maximal(meets)
-	sort.Ints(res.Safest)
+	res.Safest = safest(p, res, metric, budget)
 	return res, nil
+}
+
+// safest computes the budget-filtered maximal elements: the safest
+// configurations whose budget-metric value meets the budget. Pruned
+// nodes cannot meet it by the monotonicity assumption.
+func safest(p *poset.Poset[*Config], res *Result, metric Metric, budget float64) []int {
+	index := make(map[*Config]int, len(res.Measurements))
+	for i := range res.Measurements {
+		index[res.Measurements[i].Config] = i
+	}
+	out := p.Maximal(func(c *Config) bool {
+		m := res.Measurements[index[c]]
+		return m.Evaluated && metric.Meets(m.Perf, budget)
+	})
+	sort.Ints(out)
+	return out
 }
 
 // SafestConfigs dereferences Result.Safest.
@@ -144,6 +204,10 @@ func (r *Result) String() string {
 // double octagons mark the safest-under-budget configurations, dashed
 // nodes were pruned.
 func (r *Result) DOT(name string) string {
+	metric := r.Metric
+	if metric == "" {
+		metric = scenario.MetricThroughput
+	}
 	var max float64
 	for _, m := range r.Measurements {
 		if m.Perf > max {
@@ -159,12 +223,15 @@ func (r *Result) DOT(name string) string {
 		shade := 0.0
 		if max > 0 {
 			shade = m.Perf / max
+			if !metric.HigherIsBetter() {
+				shade = 1 - shade
+			}
 		}
 		return poset.DOTNode{
 			Label:  c.Label(),
 			Shade:  shade,
 			Star:   stars[i],
-			Pruned: m.Pruned || (m.Evaluated && m.Perf < r.Budget),
+			Pruned: m.Pruned || (m.Evaluated && !metric.Meets(m.Perf, r.Budget)),
 		}
 	})
 }

@@ -1,0 +1,84 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestLatencySamplerPercentiles(t *testing.T) {
+	var s LatencySampler
+	// 100 samples: 1..100 cycles, recorded out of order.
+	for i := 100; i >= 1; i-- {
+		s.Record(uint64(i))
+	}
+	if s.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count())
+	}
+	cases := []struct {
+		p    float64
+		want uint64
+	}{
+		{50, 50}, // nearest rank: ceil(0.50*100) = 50th smallest
+		{99, 99}, // ceil(0.99*100) = 99
+		{100, 100},
+		{1, 1},
+		{0.5, 1}, // rank clamps to the first sample
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if got := s.Max(); got != 100 {
+		t.Errorf("Max = %d, want 100", got)
+	}
+}
+
+func TestLatencySamplerEmptyAndSingle(t *testing.T) {
+	var s LatencySampler
+	if s.Percentile(50) != 0 || s.Max() != 0 || s.Count() != 0 {
+		t.Error("empty sampler must report zeros")
+	}
+	s.Record(7)
+	for _, p := range []float64{1, 50, 99, 100} {
+		if got := s.Percentile(p); got != 7 {
+			t.Errorf("single-sample Percentile(%v) = %d, want 7", p, got)
+		}
+	}
+}
+
+func TestLatencySamplerSpan(t *testing.T) {
+	var s LatencySampler
+	var c Clock
+	if err := s.Span(&c, func() error { c.Advance(42); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 1 || s.Max() != 42 {
+		t.Fatalf("Span recorded %d samples, max %d; want 1 sample of 42", s.Count(), s.Max())
+	}
+	wantErr := fmt.Errorf("boom")
+	if err := s.Span(&c, func() error { c.Advance(5); return wantErr }); err != wantErr {
+		t.Fatalf("Span swallowed the error: %v", err)
+	}
+	if s.Count() != 1 {
+		t.Fatalf("failed span must not record; count = %d", s.Count())
+	}
+	// Interleave Record after a Percentile query (sort invalidation).
+	if s.Percentile(50) != 42 {
+		t.Fatal("percentile before second record")
+	}
+	s.Record(10)
+	if s.Percentile(50) != 10 || s.Max() != 42 {
+		t.Fatalf("sampler did not re-sort: p50=%d max=%d", s.Percentile(50), s.Max())
+	}
+}
+
+func TestCostModelMicros(t *testing.T) {
+	m := DefaultCosts() // 2.2 GHz
+	if got := m.Micros(2200); got != 1.0 {
+		t.Fatalf("2200 cycles at 2.2GHz = %vµs, want 1", got)
+	}
+	if got := m.Micros(0); got != 0 {
+		t.Fatalf("Micros(0) = %v", got)
+	}
+}

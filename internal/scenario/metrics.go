@@ -1,0 +1,132 @@
+package scenario
+
+import "fmt"
+
+// Metrics is the full metric vector one workload run produces. Every
+// field is computed from the deterministic simulated machine (cycle
+// clock, allocator high-water marks, gate counters), so two runs of the
+// same scenario under the same configuration are byte-identical — which
+// is what lets the exploration engine memoize vectors and reproduce
+// Pareto frontiers exactly across worker counts.
+type Metrics struct {
+	// Throughput is the primary rate of the scenario in operations per
+	// second of simulated time (requests/s, packets/s, queries/s).
+	Throughput float64
+	// P50us, P99us and MaxUs are per-operation latency percentiles in
+	// microseconds, sampled from the machine's cycle clock with the
+	// nearest-rank definition. For pipelined or batched scenarios one
+	// sample covers one pipeline/transaction batch.
+	P50us, P99us, MaxUs float64
+	// PeakMemBytes is the high-water mark of simulated memory over the
+	// whole run: every compartment's private heap peak, the shared heap
+	// peak, and the DSS reservation.
+	PeakMemBytes uint64
+	// BootCycles is the simulated cost of getting the image to its
+	// first served operation: build-time initialization plus the
+	// application's setup phase (sockets, preloaded state).
+	BootCycles uint64
+	// Cycles is the measurement-phase cycle count and Ops the number of
+	// primary operations it covers.
+	Cycles uint64
+	Ops    int
+	// Crossings counts cross-compartment gate transitions during
+	// measurement.
+	Crossings uint64
+}
+
+// String renders the vector compactly.
+func (m Metrics) String() string {
+	return fmt.Sprintf("%.1fk op/s p50=%.2fµs p99=%.2fµs max=%.2fµs mem=%dB boot=%dcy",
+		m.Throughput/1000, m.P50us, m.P99us, m.MaxUs, m.PeakMemBytes, m.BootCycles)
+}
+
+// Metric selects one dimension of a Metrics vector — the axis a
+// performance budget is expressed on during exploration (§5 requires
+// only a metric "comparable across configurations and runs"; any field
+// of the vector qualifies).
+type Metric string
+
+// The supported budget metrics.
+const (
+	// MetricThroughput budgets a minimum operation rate (higher is
+	// better). It is the default and matches the paper's req/s budgets.
+	MetricThroughput Metric = "throughput"
+	// MetricP50, MetricP99 and MetricMax budget a maximum latency
+	// percentile in microseconds (lower is better).
+	MetricP50 Metric = "p50"
+	MetricP99 Metric = "p99"
+	MetricMax Metric = "maxlat"
+	// MetricPeakMem budgets a maximum simulated memory footprint in
+	// bytes (lower is better).
+	MetricPeakMem Metric = "mem"
+	// MetricBoot budgets a maximum boot cost in cycles (lower is
+	// better).
+	MetricBoot Metric = "boot"
+)
+
+// AllMetrics lists every supported metric, in display order.
+func AllMetrics() []Metric {
+	return []Metric{MetricThroughput, MetricP50, MetricP99, MetricMax, MetricPeakMem, MetricBoot}
+}
+
+// ParseMetric resolves a metric name (as used by the -metric CLI flag).
+func ParseMetric(s string) (Metric, error) {
+	switch Metric(s) {
+	case "":
+		return MetricThroughput, nil
+	case MetricThroughput, MetricP50, MetricP99, MetricMax, MetricPeakMem, MetricBoot:
+		return Metric(s), nil
+	}
+	return "", fmt.Errorf("scenario: unknown metric %q (want throughput|p50|p99|maxlat|mem|boot)", s)
+}
+
+// Value extracts the metric's dimension from a vector, in natural units
+// (op/s, µs, bytes, cycles).
+func (m Metric) Value(x Metrics) float64 {
+	switch m {
+	case MetricP50:
+		return x.P50us
+	case MetricP99:
+		return x.P99us
+	case MetricMax:
+		return x.MaxUs
+	case MetricPeakMem:
+		return float64(x.PeakMemBytes)
+	case MetricBoot:
+		return float64(x.BootCycles)
+	default: // MetricThroughput and the zero value
+		return x.Throughput
+	}
+}
+
+// HigherIsBetter reports the metric's direction: true for rates, false
+// for latencies, footprint and boot cost.
+func (m Metric) HigherIsBetter() bool {
+	switch m {
+	case MetricP50, MetricP99, MetricMax, MetricPeakMem, MetricBoot:
+		return false
+	}
+	return true
+}
+
+// Meets reports whether value v satisfies the budget: at least the
+// budget for higher-is-better metrics, at most the budget otherwise.
+func (m Metric) Meets(v, budget float64) bool {
+	if m.HigherIsBetter() {
+		return v >= budget
+	}
+	return v <= budget
+}
+
+// Unit names the metric's natural unit.
+func (m Metric) Unit() string {
+	switch m {
+	case MetricP50, MetricP99, MetricMax:
+		return "µs"
+	case MetricPeakMem:
+		return "B"
+	case MetricBoot:
+		return "cycles"
+	}
+	return "op/s"
+}

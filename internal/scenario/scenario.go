@@ -1,0 +1,174 @@
+// Package scenario provides the multi-metric workload layer of the
+// design-space exploration: a library of mixed application scenarios
+// (Redis GET/SET ratios and pipelining, Nginx static/keepalive mixes,
+// iPerf stream counts, SQLite transaction batches) that each run on a
+// built image and produce a full Metrics vector — throughput, latency
+// percentiles sampled from the deterministic cycle clock, peak simulated
+// memory, and boot cost.
+//
+// The paper's exploration (§5) ranks configurations by a single scalar
+// "comparable across configurations and runs". Real isolation decisions
+// trade throughput against tail latency, memory footprint and boot time;
+// this package supplies the vectors and the Metric selectors that let
+// internal/explore budget on any dimension and extract Pareto frontiers.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"flexos/internal/core"
+	"flexos/internal/machine"
+)
+
+// Workload is anything that can run on a built image configuration and
+// report a full metric vector. Scenario is the shipped implementation;
+// tests and callers may provide their own.
+type Workload interface {
+	// Name identifies the workload (memo-key namespace, CLI selector).
+	Name() string
+	// Description is a one-line human summary.
+	Description() string
+	// Run builds an image for the spec, executes the workload, and
+	// returns its metric vector. Implementations must be deterministic
+	// and safe for concurrent use (each call builds a private image).
+	Run(spec core.ImageSpec) (Metrics, error)
+}
+
+// Scenario is one entry of the shipped workload library.
+type Scenario struct {
+	name  string
+	desc  string
+	app   string    // application selector: "redis", "nginx", "iperf", "sqlite"
+	quad  [4]string // Figure-6 component quadruple, when the app has one
+	has4  bool
+	comps []string // full component list (without the TCB)
+	ops   int      // primary operations per run
+	run   func(s *Scenario, spec core.ImageSpec) (Metrics, error)
+}
+
+var _ Workload = (*Scenario)(nil)
+
+// Name returns the scenario identifier, e.g. "redis-get90".
+func (s *Scenario) Name() string { return s.name }
+
+// Description returns the one-line summary.
+func (s *Scenario) Description() string { return s.desc }
+
+// App returns the application the scenario drives ("redis", "nginx",
+// "iperf" or "sqlite").
+func (s *Scenario) App() string { return s.app }
+
+// Ops returns the number of primary operations one run executes.
+func (s *Scenario) Ops() int { return s.ops }
+
+// Quad returns the application's Figure-6 component quadruple (app,
+// libc, scheduler, network stack) when it has one — the shape the
+// Fig6Space generator partitions. SQLite images link six components and
+// report ok == false.
+func (s *Scenario) Quad() ([4]string, bool) { return s.quad, s.has4 }
+
+// Components returns the full component list an image for this scenario
+// must link, excluding the TCB libraries.
+func (s *Scenario) Components() []string { return append([]string(nil), s.comps...) }
+
+// WithOps returns a copy of the scenario that executes n primary
+// operations per run (n is clamped to at least one batch). Callers that
+// share an exploration memo across runs must namespace it with the op
+// count, since metric vectors depend on it.
+func (s *Scenario) WithOps(n int) *Scenario {
+	if n < 1 {
+		n = 1
+	}
+	c := *s
+	c.ops = n
+	return &c
+}
+
+// Run implements Workload.
+func (s *Scenario) Run(spec core.ImageSpec) (Metrics, error) {
+	m, err := s.run(s, spec)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("scenario %s: %w", s.name, err)
+	}
+	return m, nil
+}
+
+// registry holds the shipped library, populated in runners.go.
+var registry = map[string]*Scenario{}
+
+func register(s *Scenario) *Scenario {
+	if _, dup := registry[s.name]; dup {
+		panic("scenario: duplicate " + s.name)
+	}
+	registry[s.name] = s
+	return s
+}
+
+// All returns the shipped scenario library, sorted by name.
+func All() []*Scenario {
+	out := make([]*Scenario, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// ByName resolves a scenario by its identifier.
+func ByName(name string) (*Scenario, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names lists the library's scenario names, sorted.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, s := range all {
+		out[i] = s.name
+	}
+	return out
+}
+
+// mixHit reports whether operation i of a deterministic pct% mix is a
+// "hit" (Bresenham-style spreading: exactly pct hits per 100 ops,
+// evenly interleaved, no randomness).
+func mixHit(i, pct int) bool {
+	return (i+1)*pct/100 > i*pct/100
+}
+
+// peakMemory sums the image's memory high-water marks: per-compartment
+// private heap peaks, the shared heap peak, and the DSS reservation.
+func peakMemory(img *core.Image) uint64 {
+	var total uint64
+	for _, c := range img.Compartments() {
+		total += c.Heap.Stats().BytesPeak
+	}
+	total += img.SharedHeap().Stats().BytesPeak
+	total += uint64(img.DSSBytes())
+	return total
+}
+
+// collect assembles the metric vector after a measurement loop:
+// bootCycles is the clock at first served operation, startCycles /
+// startCross the clock and gate counters when measurement began.
+func collect(img *core.Image, lat *machine.LatencySampler, ops int, bootCycles, startCycles, startCross uint64) Metrics {
+	cycles := img.Mach.Clock.Cycles() - startCycles
+	seconds := float64(cycles) / img.Mach.Costs.FreqHz
+	var tput float64
+	if seconds > 0 {
+		tput = float64(ops) / seconds
+	}
+	return Metrics{
+		Throughput:   tput,
+		P50us:        img.Mach.Costs.Micros(lat.Percentile(50)),
+		P99us:        img.Mach.Costs.Micros(lat.Percentile(99)),
+		MaxUs:        img.Mach.Costs.Micros(lat.Max()),
+		PeakMemBytes: peakMemory(img),
+		BootCycles:   bootCycles,
+		Cycles:       cycles,
+		Ops:          ops,
+		Crossings:    img.Crossings() - startCross,
+	}
+}
