@@ -9,6 +9,7 @@
 package flexos_test
 
 import (
+	"context"
 	"runtime"
 	"testing"
 	"time"
@@ -255,12 +256,17 @@ func redisMeasure(c *flexos.ExploreConfig) (float64, error) {
 	return res.ReqPerSec, nil
 }
 
-// benchmarkExploreFig6 sweeps the 80-point Redis space exhaustively
-// (no pruning, no memo) with the given worker count.
-func benchmarkExploreFig6(b *testing.B, workers int) {
+// benchmarkQueryFig6 sweeps the 80-point Redis space exhaustively
+// (no pruning, no memo) with the given worker count, through the
+// unified Query engine.
+func benchmarkQueryFig6(b *testing.B, workers int) {
 	cfgs := flexos.Fig6Space(flexos.RedisComponents())
+	q := flexos.NewQuery(cfgs).
+		MeasureScalar(redisMeasure).
+		Floor(flexos.MetricThroughput, 500_000).
+		Workers(workers)
 	for i := 0; i < b.N; i++ {
-		res, err := flexos.ExploreWith(cfgs, redisMeasure, 500_000, flexos.ExploreOptions{Workers: workers})
+		res, err := q.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -271,31 +277,33 @@ func benchmarkExploreFig6(b *testing.B, workers int) {
 	b.ReportMetric(float64(len(cfgs)), "configs")
 }
 
-// BenchmarkExploreFig6Sequential is the single-worker baseline sweep of
+// BenchmarkQueryFig6Sequential is the single-worker baseline sweep of
 // the 80-point Fig. 6 Redis space.
-func BenchmarkExploreFig6Sequential(b *testing.B) { benchmarkExploreFig6(b, 1) }
+func BenchmarkQueryFig6Sequential(b *testing.B) { benchmarkQueryFig6(b, 1) }
 
-// BenchmarkExploreFig6Parallel is the same sweep fanned across
+// BenchmarkQueryFig6Parallel is the same sweep fanned across
 // GOMAXPROCS workers; its results are byte-identical to the sequential
-// run, so the time delta against BenchmarkExploreFig6Sequential is pure
+// run, so the time delta against BenchmarkQueryFig6Sequential is pure
 // engine speedup.
-func BenchmarkExploreFig6Parallel(b *testing.B) { benchmarkExploreFig6(b, 0) }
+func BenchmarkQueryFig6Parallel(b *testing.B) { benchmarkQueryFig6(b, 0) }
 
-// BenchmarkExploreParallelSpeedup times the sequential and parallel
+// BenchmarkQueryParallelSpeedup times the sequential and parallel
 // sweeps back to back and reports the wall-clock ratio directly
 // (speedup-x ≈ 1 on single-core hosts, approaching the core count on
 // parallel hardware — the measurements are independent simulations).
-func BenchmarkExploreParallelSpeedup(b *testing.B) {
-	cfgs := flexos.Fig6Space(flexos.RedisComponents())
+func BenchmarkQueryParallelSpeedup(b *testing.B) {
+	q := flexos.NewQuery(flexos.Fig6Space(flexos.RedisComponents())).
+		MeasureScalar(redisMeasure).
+		Floor(flexos.MetricThroughput, 500_000)
 	var seq, par time.Duration
 	for i := 0; i < b.N; i++ {
 		start := time.Now()
-		if _, err := flexos.ExploreWith(cfgs, redisMeasure, 500_000, flexos.ExploreOptions{Workers: 1}); err != nil {
+		if _, err := q.Workers(1).Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 		seq += time.Since(start)
 		start = time.Now()
-		if _, err := flexos.ExploreWith(cfgs, redisMeasure, 500_000, flexos.ExploreOptions{Workers: 0}); err != nil {
+		if _, err := q.Workers(0).Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 		par += time.Since(start)
@@ -304,20 +312,23 @@ func BenchmarkExploreParallelSpeedup(b *testing.B) {
 	b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup-x")
 }
 
-// BenchmarkExploreMemoizedSweep measures a warm-memo sweep of the
+// BenchmarkQueryMemoizedSweep measures a warm-memo sweep of the
 // Fig. 6 space: after one cold exploration, every further sweep is pure
 // cache traffic, which is what makes repeated cross-space exploration
 // (Fig. 5 + Fig. 6 + Fig. 8 share points) nearly free.
-func BenchmarkExploreMemoizedSweep(b *testing.B) {
+func BenchmarkQueryMemoizedSweep(b *testing.B) {
 	cfgs := flexos.Fig6Space(flexos.RedisComponents())
-	memo := flexos.NewExploreMemo()
-	opts := flexos.ExploreOptions{Memo: memo, Workload: "redis"}
-	if _, err := flexos.ExploreWith(cfgs, redisMeasure, 500_000, opts); err != nil {
+	q := flexos.NewQuery(cfgs).
+		MeasureScalar(redisMeasure).
+		Floor(flexos.MetricThroughput, 500_000).
+		Memo(flexos.NewExploreMemo()).
+		Namespace("redis")
+	if _, err := q.Run(context.Background()); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := flexos.ExploreWith(cfgs, redisMeasure, 500_000, opts)
+		res, err := q.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -328,9 +339,9 @@ func BenchmarkExploreMemoizedSweep(b *testing.B) {
 	b.ReportMetric(float64(len(cfgs)), "memo-hits")
 }
 
-// BenchmarkExploreCrossAppSpace exercises the engine at scale: the
+// BenchmarkQueryCrossAppSpace exercises the engine at scale: the
 // 320-point two-application, two-mechanism space with pruning.
-func BenchmarkExploreCrossAppSpace(b *testing.B) {
+func BenchmarkQueryCrossAppSpace(b *testing.B) {
 	cfgs := flexos.CrossAppSpace(nil, flexos.RedisComponents(), flexos.NginxComponents())
 	measure := func(c *flexos.ExploreConfig) (float64, error) {
 		for _, comp := range c.Components() {
@@ -344,8 +355,11 @@ func BenchmarkExploreCrossAppSpace(b *testing.B) {
 		}
 		return redisMeasure(c)
 	}
+	q := flexos.NewQuery(cfgs).MeasureScalar(measure).
+		Floor(flexos.MetricThroughput, 400_000).
+		Prune(true)
 	for i := 0; i < b.N; i++ {
-		res, err := flexos.ExploreWith(cfgs, measure, 400_000, flexos.ExploreOptions{Prune: true})
+		res, err := q.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -357,16 +371,12 @@ func BenchmarkExploreCrossAppSpace(b *testing.B) {
 // BenchmarkAblationMonotonicPruning quantifies design decision 4: how
 // many of the 80 measurements the explorer's monotonic pruning saves.
 func BenchmarkAblationMonotonicPruning(b *testing.B) {
-	cfgs := flexos.Fig6Space(flexos.RedisComponents())
-	measure := func(c *flexos.ExploreConfig) (float64, error) {
-		res, err := flexos.BenchmarkRedis(c.Spec(flexos.TCBLibs()), benchRequests)
-		if err != nil {
-			return 0, err
-		}
-		return res.ReqPerSec, nil
-	}
+	q := flexos.NewQuery(flexos.Fig6Space(flexos.RedisComponents())).
+		MeasureScalar(redisMeasure).
+		Floor(flexos.MetricThroughput, 500_000).
+		Prune(true)
 	for i := 0; i < b.N; i++ {
-		pruned, err := flexos.Explore(cfgs, measure, 500_000, true)
+		pruned, err := q.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,11 +1,11 @@
 // Command benchguard is the benchmark-regression gate for the
-// exploration engine: it runs the BenchmarkExplore* benchmarks and
+// exploration engine: it runs the BenchmarkQuery* benchmarks and
 // fails when any of them slowed down by more than the tolerance
 // (default 20%) against the checked-in baseline.
 //
 // Raw ns/op is meaningless across machines, so the guard normalizes
-// twice: every benchmark is expressed as a ratio to the sequential
-// reference engine (BenchmarkExploreFig6Sequential) measured in the
+// twice: every benchmark is expressed as a ratio to the single-worker
+// reference sweep (BenchmarkQueryFig6Sequential) measured in the
 // same run, and the whole suite runs under GOMAXPROCS=1 so parallel
 // speedup — which scales with the host's core count — cannot leak into
 // the ratios. What remains is the engine's own overhead — worker-pool
@@ -33,19 +33,19 @@ import (
 	"strings"
 )
 
-const reference = "BenchmarkExploreFig6Sequential"
+const reference = "BenchmarkQueryFig6Sequential"
 
 func main() {
 	update := flag.Bool("update", false, "rewrite the baseline file from this run")
 	tolerance := flag.Float64("tolerance", 0.20, "maximum allowed relative slowdown vs baseline")
 	benchtime := flag.String("benchtime", "1s", "-benchtime passed to go test")
 	count := flag.Int("count", 3, "-count passed to go test; the guard keeps each benchmark's fastest run")
-	// BenchmarkExploreParallelSpeedup is deliberately not guarded: it is
+	// BenchmarkQueryParallelSpeedup is deliberately not guarded: it is
 	// a speedup *meter* that times the sequential and parallel engines
 	// back to back, so its ns/op spans two runs and carries twice the
 	// scheduling variance while adding no coverage beyond the
 	// Fig6Sequential / Fig6Parallel pair.
-	pattern := flag.String("bench", "^BenchmarkExplore(Fig6|CrossAppSpace|MemoizedSweep)", "benchmark pattern to guard")
+	pattern := flag.String("bench", "^BenchmarkQuery(Fig6|CrossAppSpace|MemoizedSweep)", "benchmark pattern to guard")
 	baseline := flag.String("baseline", filepath.Join("cmd", "benchguard", "baseline.txt"), "baseline file")
 	flag.Parse()
 
@@ -167,7 +167,7 @@ func writeBaseline(path string, ratios, nsop map[string]float64, ref float64) er
 	}
 	sort.Strings(names)
 	var b strings.Builder
-	b.WriteString("# benchguard baseline: ns/op ratio of each BenchmarkExplore* to\n")
+	b.WriteString("# benchguard baseline: ns/op ratio of each BenchmarkQuery* to\n")
 	fmt.Fprintf(&b, "# %s, regenerated with `go run ./cmd/benchguard -update`.\n", reference)
 	fmt.Fprintf(&b, "# reference absolute: %.0f ns/op (informational, machine-dependent)\n", ref)
 	for _, name := range names {

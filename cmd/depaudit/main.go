@@ -1,0 +1,148 @@
+// Command depaudit is the deprecation gate for the exploration API: it
+// parses every Go file under cmd/ and examples/ and fails when one of
+// them calls a deprecated exploration entry point instead of the Query
+// builder. It is the staticcheck-style "no new callers" audit wired
+// into CI — internal packages and tests may still exercise the
+// deprecated wrappers (that is how their compatibility is pinned), but
+// the repository's own binaries and examples must model the modern API.
+//
+// Usage:
+//
+//	go run ./cmd/depaudit             # audit ./cmd and ./examples
+//	go run ./cmd/depaudit dir1 dir2   # audit explicit roots
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// deprecated maps import path -> the entry points frozen there. The
+// key is matched against the import's path, the inner set against
+// selector calls through that import.
+var deprecated = map[string]map[string]bool{
+	"flexos": {
+		"Explore":         true,
+		"ExploreWith":     true,
+		"ExploreMetrics":  true,
+		"ExploreScenario": true,
+	},
+	"flexos/internal/explore": {
+		"Run":                  true,
+		"RunOpts":              true,
+		"RunMetrics":           true,
+		"RunMetricsSequential": true,
+	},
+}
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"cmd", "examples"}
+	}
+	findings, err := audit(roots)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "depaudit:", err)
+		os.Exit(1)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "depaudit: %d call(s) to deprecated exploration entry points (use flexos.NewQuery / explore.Engine.Run):\n", len(findings))
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("depaudit: PASS (cmd/ and examples/ are free of deprecated exploration calls)")
+}
+
+// audit walks the roots and returns one "file:line: pkg.Func" finding
+// per deprecated call.
+func audit(roots []string) ([]string, error) {
+	var findings []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			// Tests may exercise the deprecated wrappers (that is how
+			// their compatibility is pinned); only shipped code is held
+			// to the Query API.
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			found, err := auditFile(path)
+			if err != nil {
+				return err
+			}
+			findings = append(findings, found...)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return findings, nil
+}
+
+// auditFile parses one file and reports deprecated selector calls made
+// through any import of the frozen packages (alias-aware).
+func auditFile(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	// Map the local name of each interesting import to its frozen set.
+	frozen := map[string]map[string]bool{}
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		set, ok := deprecated[p]
+		if !ok {
+			continue
+		}
+		name := filepath.Base(p)
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == "_" || name == "." {
+			// Dot imports would need type information; nothing in this
+			// repository uses them for the frozen packages.
+			continue
+		}
+		frozen[name] = set
+	}
+	if len(frozen) == 0 {
+		return nil, nil
+	}
+	var findings []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if set, ok := frozen[ident.Name]; ok && set[sel.Sel.Name] {
+			pos := fset.Position(call.Pos())
+			findings = append(findings, fmt.Sprintf("%s:%d: %s.%s", pos.Filename, pos.Line, ident.Name, sel.Sel.Name))
+		}
+		return true
+	})
+	return findings, nil
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAuditFlagsDeprecatedCalls(t *testing.T) {
+	dir := t.TempDir()
+	src := `package bad
+
+import (
+	"flexos"
+	xp "flexos/internal/explore"
+)
+
+func bad() {
+	flexos.Explore(nil, nil, 0, true)
+	flexos.ExploreWith(nil, nil, 0, flexos.ExploreOptions{})
+	flexos.ExploreMetrics(nil, nil, "", 0, flexos.ExploreOptions{})
+	flexos.ExploreScenario(nil, "", 0, flexos.ExploreOptions{})
+	xp.Run(nil, nil, 0, true)
+	xp.RunOpts(nil, nil, 0, xp.Options{})
+	xp.RunMetrics(nil, nil, "", 0, xp.Options{})
+	xp.RunMetricsSequential(nil, nil, "", 0, true)
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := audit([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 8 {
+		t.Fatalf("found %d deprecated calls, want 8:\n%v", len(findings), findings)
+	}
+}
+
+func TestAuditAllowsQueryAPI(t *testing.T) {
+	dir := t.TempDir()
+	src := `package good
+
+import (
+	"context"
+
+	"flexos"
+)
+
+func good() {
+	// Same names as methods are fine: only package-selector calls count.
+	q := flexos.NewQuery(nil).MeasureScalar(nil).Floor(flexos.MetricThroughput, 1)
+	q.Run(context.Background())
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "good.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := audit([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("false positives: %v", findings)
+	}
+}
+
+// TestRepositoryBinariesAndExamplesAreClean runs the real audit the CI
+// step runs: cmd/ and examples/ must not call the deprecated surface.
+func TestRepositoryBinariesAndExamplesAreClean(t *testing.T) {
+	findings, err := audit([]string{"../../cmd", "../../examples"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("deprecated exploration calls in cmd/ or examples/:\n%v", findings)
+	}
+}

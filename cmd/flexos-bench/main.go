@@ -15,13 +15,17 @@
 //	flexos-bench -fig 6 -requests 300
 //	flexos-bench -fig scenarios
 //	flexos-bench -fig pareto -scenario redis-get90
+//	flexos-bench -fig 8 -timeout 30s
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
+	"flexos/internal/explore"
 	"flexos/internal/figures"
 )
 
@@ -33,22 +37,34 @@ func main() {
 	packets := flag.Int("packets", 40, "packets per buffer size (Fig. 9)")
 	budget := flag.Float64("budget", 500_000, "performance budget in req/s (Figs. 5, 8)")
 	workers := flag.Int("workers", 0, "concurrent measurement workers for the exploration figures (<= 0: GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort the exploration figures after this duration (0: no deadline)")
 	csvDir := flag.String("csv", "", "also write results as CSV files into this directory")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	run := func(name string, f func() error) {
 		if *fig != "all" && *fig != name {
 			return
 		}
 		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "flexos-bench: figure %s: %v\n", name, err)
+			if errors.Is(err, explore.ErrCanceled) {
+				fmt.Fprintf(os.Stderr, "flexos-bench: figure %s: timed out after %v\n", name, *timeout)
+			} else {
+				fmt.Fprintf(os.Stderr, "flexos-bench: figure %s: %v\n", name, err)
+			}
 			os.Exit(1)
 		}
 		fmt.Println()
 	}
 
 	run("5", func() error {
-		nodes, err := figures.Fig5Workers(*requests, 600_000, *workers)
+		nodes, err := figures.Fig5Workers(ctx, *requests, 600_000, *workers)
 		if err != nil {
 			return err
 		}
@@ -58,13 +74,13 @@ func main() {
 	var redisRows, nginxRows []figures.ConfigPerf
 	run("6", func() error {
 		var err error
-		redisRows, err = figures.Fig6RedisWorkers(*requests, *workers)
+		redisRows, err = figures.Fig6RedisWorkers(ctx, *requests, *workers)
 		if err != nil {
 			return err
 		}
 		fmt.Print(figures.FormatFig6("Redis", redisRows))
 		fmt.Println()
-		nginxRows, err = figures.Fig6NginxWorkers(*requests, *workers)
+		nginxRows, err = figures.Fig6NginxWorkers(ctx, *requests, *workers)
 		if err != nil {
 			return err
 		}
@@ -84,10 +100,10 @@ func main() {
 	run("7", func() error {
 		if redisRows == nil {
 			var err error
-			if redisRows, err = figures.Fig6RedisWorkers(*requests, *workers); err != nil {
+			if redisRows, err = figures.Fig6RedisWorkers(ctx, *requests, *workers); err != nil {
 				return err
 			}
-			if nginxRows, err = figures.Fig6NginxWorkers(*requests, *workers); err != nil {
+			if nginxRows, err = figures.Fig6NginxWorkers(ctx, *requests, *workers); err != nil {
 				return err
 			}
 		}
@@ -100,7 +116,7 @@ func main() {
 		return nil
 	})
 	run("8", func() error {
-		res, err := figures.Fig8Workers(*requests, *budget, *workers)
+		res, err := figures.Fig8Workers(ctx, *requests, *budget, *workers)
 		if err != nil {
 			return err
 		}
@@ -172,7 +188,7 @@ func main() {
 		return nil
 	})
 	run("pareto", func() error {
-		res, err := figures.ScenarioPareto(*scenarioName, *workers)
+		res, err := figures.ScenarioPareto(ctx, *scenarioName, *workers)
 		if err != nil {
 			return err
 		}

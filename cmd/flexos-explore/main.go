@@ -1,49 +1,75 @@
 // Command flexos-explore runs FlexOS' partial safety ordering (§5) over
 // the paper's 80-configuration design space for Redis or Nginx — or the
 // larger 320-point cross-application space — measuring configurations
-// in parallel, pruning monotonically, and printing the safest
-// configurations that satisfy a performance budget (the workflow behind
-// Figure 8).
+// in parallel through the flexos.Query builder, pruning monotonically,
+// and printing the safest configurations that satisfy every budget
+// constraint (the workflow behind Figure 8).
+//
+// Budgets are composable: -budget may repeat, each occurrence either a
+// plain number (bound on the -metric dimension, in its natural
+// direction) or a full constraint like "throughput>=500000" or
+// "p99<=2.5". A configuration must satisfy all of them. -timeout bounds
+// the whole exploration through context cancellation, and -stream
+// prints each configuration the moment it is measured — in input
+// order, so the streamed output is byte-identical for any -workers
+// value.
 //
 // With -scenario it swaps the single-metric benchmark for a workload of
 // the multi-metric scenario library (Redis GET/SET mixes and
 // pipelining, Nginx keepalive mixes, iPerf stream counts): every
-// configuration then carries a full metric vector, the budget applies
-// to the metric chosen with -metric, and -pareto prints the safety ×
-// throughput × memory frontier.
+// configuration then carries a full metric vector, budgets may
+// constrain any dimension, and -pareto prints the safety × throughput ×
+// memory frontier.
 //
 // Usage:
 //
 //	flexos-explore -app redis -budget 500000
 //	flexos-explore -app nginx -budget 400000 -exhaustive -v
-//	flexos-explore -app cross -workers 8 -progress
+//	flexos-explore -app cross -workers 8 -progress -stream
 //	flexos-explore -scenario redis-get90 -pareto
 //	flexos-explore -scenario nginx-keep75 -metric p99 -budget 3
+//	flexos-explore -scenario redis-pipe4 -budget "throughput>=200000" -budget "p99<=40" -budget "mem<=400000"
+//	flexos-explore -app cross -timeout 30s -stream
 //	flexos-explore -list
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 
 	"flexos"
 )
 
+// budgetFlags collects repeated -budget occurrences.
+type budgetFlags []string
+
+func (b *budgetFlags) String() string { return fmt.Sprint([]string(*b)) }
+func (b *budgetFlags) Set(s string) error {
+	*b = append(*b, s)
+	return nil
+}
+
 func main() {
 	app := flag.String("app", "redis", "space to explore: redis | nginx | cross (both apps x {mpk, ept})")
 	scenarioName := flag.String("scenario", "", "explore under a multi-metric scenario workload instead of -app (see -list)")
-	metricName := flag.String("metric", "throughput", "budget metric with -scenario: throughput | p50 | p99 | maxlat | mem | boot")
+	metricName := flag.String("metric", "throughput", "ranking metric, and the dimension plain-number -budget values bound: throughput | p50 | p99 | maxlat | mem | boot")
+	var budgets budgetFlags
+	flag.Var(&budgets, "budget", "budget constraint; repeatable. Either a plain bound on -metric (natural direction) or metric>=bound / metric<=bound (default: 500000 on -metric)")
+	timeout := flag.Duration("timeout", 0, "abort the exploration after this duration (0: no deadline)")
 	pareto := flag.Bool("pareto", false, "print the safety x throughput x memory Pareto frontier (implies -exhaustive)")
 	list := flag.Bool("list", false, "list the scenario library and exit")
-	budget := flag.Float64("budget", 500_000, "budget on the chosen metric (floor for throughput, ceiling for latency/mem/boot)")
 	requests := flag.Int("requests", 200, "requests per measurement (-app spaces; scenarios use -ops)")
 	ops := flag.Int("ops", 0, "operations per scenario measurement (<= 0: the scenario's default)")
 	workers := flag.Int("workers", 0, "concurrent measurement workers (<= 0: GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "report exploration progress on stderr")
+	stream := flag.Bool("stream", false, "print each configuration as soon as it is measured (deterministic input order)")
 	exhaustive := flag.Bool("exhaustive", false, "measure every configuration (disable monotonic pruning)")
-	verbose := flag.Bool("v", false, "print every measured configuration")
+	verbose := flag.Bool("v", false, "print every measured configuration after the run")
 	dotPath := flag.String("dot", "", "write the labeled safety poset as a Graphviz file (Fig. 8 visual)")
 	flag.Parse()
 
@@ -59,46 +85,151 @@ func main() {
 		return
 	}
 
-	if *scenarioName != "" {
-		exploreScenario(*scenarioName, *metricName, *budget, *ops, *workers, *progress, *exhaustive, *pareto, *verbose, *dotPath)
-		return
+	metric, err := flexos.ParseMetric(*metricName)
+	if err != nil {
+		fatal(2, err)
 	}
-	if *pareto {
-		// The scalar -app measures only throughput; a frontier over the
-		// latency/memory axes needs the full vectors of a scenario run.
-		fmt.Fprintln(os.Stderr, "flexos-explore: -pareto requires -scenario (only scenario workloads measure the memory axis)")
-		os.Exit(2)
+	constraints, err := parseBudgets(budgets, metric)
+	if err != nil {
+		fatal(2, err)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	// Assemble the query: the space and its measurement source.
+	var (
+		q     *flexos.Query
+		title string
+	)
+	if *scenarioName != "" {
+		sc, ok := flexos.ScenarioByName(*scenarioName)
+		if !ok {
+			fatal(2, fmt.Errorf("unknown scenario %q (try -list)", *scenarioName))
+		}
+		if *ops > 0 {
+			sc = sc.WithOps(*ops)
+		}
+		quad, ok := sc.Quad()
+		if !ok {
+			fatal(2, fmt.Errorf("scenario %q has no four-component space", sc.Name()))
+		}
+		q = flexos.NewQuery(flexos.Fig6Space(quad)).Workload(sc)
+		title = sc.Name()
+	} else {
+		// The scalar -app benchmarks measure only throughput: a frontier
+		// over the latency/memory axes, a non-throughput ranking, or a
+		// constraint on an unmeasured dimension all need the full
+		// vectors of a scenario run.
+		if *pareto {
+			fatal(2, errors.New("-pareto requires -scenario (only scenario workloads measure the memory axis)"))
+		}
+		if metric != flexos.MetricThroughput {
+			fatal(2, fmt.Errorf("-metric %s requires -scenario (the -app benchmarks measure only throughput)", metric))
+		}
+		for _, c := range constraints {
+			if c.Metric != flexos.MetricThroughput {
+				fatal(2, fmt.Errorf("constraint %s requires -scenario (the -app benchmarks measure only throughput)", c))
+			}
+		}
+		var err error
+		if q, title, err = appQuery(*app, *requests); err != nil {
+			fatal(2, err)
+		}
+	}
+	for _, c := range constraints {
+		q.Constrain(c.Metric, c.Op, c.Bound)
+	}
+	q.RankBy(metric).Workers(*workers).Prune(!*exhaustive && !*pareto)
+	if *progress {
+		q.Progress(progressBar)
+	}
+
+	// Run — streaming incrementally when asked — and report. Scalar
+	// -app runs only measure throughput, so their stream lines print
+	// just that instead of a mostly-zero vector.
+	var res *flexos.ExploreResult
+	if *stream {
+		seq, final := q.Stream(ctx)
+		for cfg, m := range seq {
+			if *scenarioName != "" {
+				fmt.Printf("measured %-55s %s\n", cfg.Label(), m)
+			} else {
+				fmt.Printf("measured %-55s %9.1fk req/s\n", cfg.Label(), m.Throughput/1000)
+			}
+		}
+		res, err = final()
+	} else {
+		res, err = q.Run(ctx)
+	}
+	noFeasible := errors.Is(err, flexos.ErrNoFeasible)
+	if err != nil && !noFeasible {
+		if *progress {
+			fmt.Fprintln(os.Stderr)
+		}
+		if errors.Is(err, flexos.ErrCanceled) {
+			fatal(1, fmt.Errorf("exploration canceled after %v: %v", *timeout, err))
+		}
+		fatal(1, err)
+	}
+
+	if *verbose {
+		printAll(res)
+	}
+	writeDOT(*dotPath, res, title)
+	if *pareto {
+		printPareto(res)
+	}
+
+	fmt.Printf("%s: explored %d/%d configurations under %d constraint(s)%s\n",
+		title, res.Evaluated, res.Total, len(constraints), constraintList(constraints))
+	if noFeasible {
+		fmt.Println("no configuration satisfies every constraint")
+		return
+	}
+	fmt.Printf("safest configurations satisfying every constraint: %d\n", len(res.Safest))
+	for _, i := range res.Safest {
+		m := res.Measurements[i]
+		if *scenarioName != "" {
+			fmt.Printf("  * %-55s %s\n", m.Config.Label(), m.Metrics)
+		} else {
+			fmt.Printf("  * %-55s %9.1fk req/s\n", m.Config.Label(), m.Perf/1000)
+		}
+	}
+}
+
+// appQuery builds the single-metric benchmark query for -app spaces.
+func appQuery(app string, requests int) (*flexos.Query, string, error) {
 	measureRedis := func(c *flexos.ExploreConfig) (float64, error) {
-		res, err := flexos.BenchmarkRedis(c.Spec(flexos.TCBLibs()), *requests)
+		res, err := flexos.BenchmarkRedis(c.Spec(flexos.TCBLibs()), requests)
 		if err != nil {
 			return 0, err
 		}
 		return res.ReqPerSec, nil
 	}
 	measureNginx := func(c *flexos.ExploreConfig) (float64, error) {
-		res, err := flexos.BenchmarkNginx(c.Spec(flexos.TCBLibs()), *requests)
+		res, err := flexos.BenchmarkNginx(c.Spec(flexos.TCBLibs()), requests)
 		if err != nil {
 			return 0, err
 		}
 		return res.ReqPerSec, nil
 	}
-
-	var cfgs []*flexos.ExploreConfig
-	var measure func(*flexos.ExploreConfig) (float64, error)
-	switch *app {
+	switch app {
 	case "redis":
-		cfgs = flexos.Fig6Space(flexos.RedisComponents())
-		measure = measureRedis
+		return flexos.NewQuery(flexos.Fig6Space(flexos.RedisComponents())).
+			MeasureScalar(measureRedis).Namespace(fmt.Sprintf("redis/%d", requests)), app, nil
 	case "nginx":
-		cfgs = flexos.Fig6Space(flexos.NginxComponents())
-		measure = measureNginx
+		return flexos.NewQuery(flexos.Fig6Space(flexos.NginxComponents())).
+			MeasureScalar(measureNginx).Namespace(fmt.Sprintf("nginx/%d", requests)), app, nil
 	case "cross":
-		cfgs = flexos.CrossAppSpace(nil, flexos.RedisComponents(), flexos.NginxComponents())
+		cfgs := flexos.CrossAppSpace(nil, flexos.RedisComponents(), flexos.NginxComponents())
 		// Dispatch on the application the configuration contains; the
 		// two sub-spaces are incomparable and explore independently.
-		measure = func(c *flexos.ExploreConfig) (float64, error) {
+		measure := func(c *flexos.ExploreConfig) (float64, error) {
 			for _, comp := range c.Components() {
 				switch comp {
 				case flexos.LibRedis:
@@ -109,83 +240,46 @@ func main() {
 			}
 			return 0, fmt.Errorf("config %d contains no known application", c.ID)
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "flexos-explore: unknown app %q\n", *app)
-		os.Exit(2)
+		return flexos.NewQuery(cfgs).MeasureScalar(measure).
+			Namespace(fmt.Sprintf("cross/%d", requests)), app, nil
 	}
-
-	opts := flexos.ExploreOptions{Workers: *workers, Prune: !*exhaustive}
-	if *progress {
-		opts.Progress = progressBar
-	}
-	res, err := flexos.ExploreWith(cfgs, measure, *budget, opts)
-	if err != nil {
-		if *progress {
-			fmt.Fprintln(os.Stderr)
-		}
-		fmt.Fprintln(os.Stderr, "flexos-explore:", err)
-		os.Exit(1)
-	}
-
-	if *verbose {
-		printAll(res)
-	}
-	writeDOT(*dotPath, res, *app)
-
-	fmt.Printf("explored %d/%d configurations (budget %.0fk %s req/s)\n",
-		res.Evaluated, res.Total, *budget/1000, *app)
-	fmt.Printf("safest configurations under budget: %d\n", len(res.Safest))
-	for _, i := range res.Safest {
-		m := res.Measurements[i]
-		fmt.Printf("  * %-55s %9.1fk req/s\n", m.Config.Label(), m.Perf/1000)
-	}
+	return nil, "", fmt.Errorf("unknown app %q", app)
 }
 
-// exploreScenario runs the multi-metric path: a scenario workload over
-// the application's Figure-6 space, budgeting on the chosen metric.
-func exploreScenario(name, metricName string, budget float64, ops, workers int, progress, exhaustive, pareto, verbose bool, dotPath string) {
-	sc, ok := flexos.ScenarioByName(name)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "flexos-explore: unknown scenario %q (try -list)\n", name)
-		os.Exit(2)
+// parseBudgets turns the repeated -budget values into constraints. A
+// plain number bounds the default metric in its natural direction; the
+// full syntax names its own metric and direction. No -budget at all
+// keeps the historical default of 500000 on the chosen metric.
+func parseBudgets(budgets []string, metric flexos.Metric) ([]flexos.ExploreConstraint, error) {
+	if len(budgets) == 0 {
+		budgets = []string{"500000"}
 	}
-	if ops > 0 {
-		sc = sc.WithOps(ops)
-	}
-	metric, err := flexos.ParseMetric(metricName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "flexos-explore:", err)
-		os.Exit(2)
-	}
-
-	opts := flexos.ExploreOptions{Workers: workers, Prune: !exhaustive && !pareto}
-	if progress {
-		opts.Progress = progressBar
-	}
-	res, err := flexos.ExploreScenario(sc, metric, budget, opts)
-	if err != nil {
-		if progress {
-			fmt.Fprintln(os.Stderr)
+	out := make([]flexos.ExploreConstraint, 0, len(budgets))
+	for _, s := range budgets {
+		if v, err := strconv.ParseFloat(s, 64); err == nil {
+			out = append(out, flexos.ExploreConstraint{Metric: metric, Op: flexos.NaturalOp(metric), Bound: v})
+			continue
 		}
-		fmt.Fprintln(os.Stderr, "flexos-explore:", err)
-		os.Exit(1)
+		c, err := flexos.ParseConstraint(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
 	}
+	return out, nil
+}
 
-	if verbose {
-		printAll(res)
+func constraintList(cs []flexos.ExploreConstraint) string {
+	s := ""
+	for i, c := range cs {
+		if i == 0 {
+			s = ": "
+		} else {
+			s += ", "
+		}
+		s += c.String()
 	}
-	writeDOT(dotPath, res, sc.Name())
-	if pareto {
-		printPareto(res)
-	}
-
-	fmt.Printf("scenario %s: explored %d/%d configurations (budget %.4g %s on %s)\n",
-		sc.Name(), res.Evaluated, res.Total, budget, metric.Unit(), metric)
-	fmt.Printf("safest configurations under budget: %d\n", len(res.Safest))
-	for _, i := range res.Safest {
-		m := res.Measurements[i]
-		fmt.Printf("  * %-55s %s\n", m.Config.Label(), m.Metrics)
-	}
+	return s
 }
 
 func progressBar(done, total int) {
@@ -233,8 +327,12 @@ func writeDOT(path string, res *flexos.ExploreResult, name string) {
 		return
 	}
 	if err := os.WriteFile(path, []byte(res.DOT(name)), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "flexos-explore:", err)
-		os.Exit(1)
+		fatal(1, err)
 	}
 	fmt.Printf("wrote safety poset to %s (render with: dot -Tsvg)\n", path)
+}
+
+func fatal(code int, err error) {
+	fmt.Fprintln(os.Stderr, "flexos-explore:", err)
+	os.Exit(code)
 }

@@ -1,6 +1,7 @@
 package flexos_test
 
 import (
+	"context"
 	"fmt"
 
 	"flexos"
@@ -32,32 +33,42 @@ sharing: dss
 	// comp2 -> comp1 via mpk/full (108 cycles)
 }
 
-// ExampleExplore runs partial safety ordering over the Redis design
+// ExampleNewQuery runs partial safety ordering over the Redis design
 // space with a synthetic measurement (real measurements use
-// BenchmarkRedis).
-func ExampleExplore() {
+// BenchmarkRedis): one query, a throughput floor, monotonic pruning.
+func ExampleNewQuery() {
 	cfgs := flexos.Fig6Space(flexos.RedisComponents())
 	measure := func(c *flexos.ExploreConfig) (float64, error) {
 		return 1000 - 150*float64(c.NumCompartments()-1) - 80*float64(c.HardenedCount()), nil
 	}
-	res, _ := flexos.Explore(cfgs, measure, 500, true)
+	res, _ := flexos.NewQuery(cfgs).
+		MeasureScalar(measure).
+		Floor(flexos.MetricThroughput, 500).
+		Prune(true).
+		Run(context.Background())
 	fmt.Printf("space=%d evaluated=%d safest=%d\n", res.Total, res.Evaluated, len(res.Safest))
 	// Output:
 	// space=80 evaluated=79 safest=9
 }
 
-// ExampleExploreScenario explores the Redis design space under a mixed
-// GET/SET scenario workload, budgeting on p99 latency instead of
+// ExampleQuery_Workload explores the Redis design space under a mixed
+// GET/SET scenario workload, constraining p99 latency instead of
 // throughput, and extracts the safety × throughput × memory Pareto
-// frontier. Everything runs on the deterministic simulated machine, so
-// the counts are reproducible for any worker count.
-func ExampleExploreScenario() {
+// frontier from an unconstrained run. Everything runs on the
+// deterministic simulated machine, so the counts are reproducible for
+// any worker count.
+func ExampleQuery_Workload() {
 	sc, _ := flexos.ScenarioByName("redis-get90")
-	res, _ := flexos.ExploreScenario(sc, flexos.MetricP99, 2.0,
-		flexos.ExploreOptions{Prune: true})
+	quad, _ := sc.Quad()
+	cfgs := flexos.Fig6Space(quad)
+	res, _ := flexos.NewQuery(cfgs).
+		Workload(sc).
+		Ceiling(flexos.MetricP99, 2.0).
+		Prune(true).
+		Run(context.Background())
 	fmt.Printf("space=%d evaluated=%d safest=%d\n", res.Total, res.Evaluated, len(res.Safest))
 
-	full, _ := flexos.ExploreScenario(sc, flexos.MetricThroughput, 0, flexos.ExploreOptions{})
+	full, _ := flexos.NewQuery(cfgs).Workload(sc).Run(context.Background())
 	fmt.Printf("pareto=%d\n", len(full.ParetoFront()))
 	// Output:
 	// space=80 evaluated=54 safest=10

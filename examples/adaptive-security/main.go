@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -30,9 +32,11 @@ func main() {
 		return res.ReqPerSec, nil
 	}
 
-	// Exhaustively measure once (offline, e.g. in CI); the results are
-	// reused for every load level.
-	res, err := flexos.Explore(cfgs, measure, 0, false)
+	// Exhaustively measure once (offline, e.g. in CI); an unconstrained
+	// query measures everything, and the results are reused for every
+	// load level.
+	ctx := context.Background()
+	res, err := flexos.NewQuery(cfgs).MeasureScalar(measure).Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,11 +56,17 @@ func main() {
 	fmt.Println("hour   demand      deployed configuration                              sustains")
 	for _, slot := range day {
 		// The safest configuration whose measured throughput covers the
-		// demand: re-rank the poset with the demand as budget.
-		best, err := flexos.Explore(cfgs, func(c *flexos.ExploreConfig) (float64, error) {
-			return res.Measurements[c.ID].Perf, nil // reuse offline numbers
-		}, slot.load, false)
-		if err != nil {
+		// demand: re-rank the poset with the demand as a throughput
+		// floor. The query re-runs against the already-measured numbers,
+		// so this is instantaneous — and an infeasible demand surfaces
+		// as ErrNoFeasible rather than a silent empty set.
+		best, err := flexos.NewQuery(cfgs).
+			MeasureScalar(func(c *flexos.ExploreConfig) (float64, error) {
+				return res.Measurements[c.ID].Perf, nil // reuse offline numbers
+			}).
+			Floor(flexos.MetricThroughput, slot.load).
+			Run(ctx)
+		if err != nil && !errors.Is(err, flexos.ErrNoFeasible) {
 			log.Fatal(err)
 		}
 		if len(best.Safest) == 0 {

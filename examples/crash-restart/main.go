@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,8 +34,9 @@ func main() {
 		}
 		return res.ReqPerSec, nil
 	}
-	// Offline exploration pass (budget 0 = measure everything).
-	res, err := flexos.Explore(cfgs, measure, 0, false)
+	// Offline exploration pass: an unconstrained query measures
+	// everything.
+	res, err := flexos.NewQuery(cfgs).MeasureScalar(measure).Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

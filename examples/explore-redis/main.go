@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -32,11 +33,17 @@ func main() {
 		return res.ReqPerSec, nil
 	}
 
+	// One query expresses the whole workflow: the space, the
+	// measurement, the throughput floor, pruning, and a memo that
+	// remembers every measurement for later runs. The context could
+	// carry a deadline; Background means "run to completion".
 	memo := flexos.NewExploreMemo()
-	res, err := flexos.ExploreWith(cfgs, measure, budget, flexos.ExploreOptions{
-		Prune: true, // skip configs dominated by a budget violation
-		Memo:  memo, // remember every measurement for later runs
-	})
+	q := flexos.NewQuery(cfgs).
+		MeasureScalar(measure).
+		Floor(flexos.MetricThroughput, budget).
+		Prune(true). // skip configs dominated by a budget violation
+		Memo(memo)   // remember every measurement for later runs
+	res, err := q.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -90,7 +97,11 @@ func main() {
 	// What if the budget were tighter? The memo holds every point the
 	// first pass measured, so re-exploring only pays for the configs
 	// pruning skipped last time.
-	tight, err := flexos.ExploreWith(cfgs, measure, budget*1.2, flexos.ExploreOptions{Memo: memo})
+	tight, err := flexos.NewQuery(cfgs).
+		MeasureScalar(measure).
+		Floor(flexos.MetricThroughput, budget*1.2).
+		Memo(memo).
+		Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -32,27 +34,44 @@ func main() {
 	}
 	fmt.Printf("scenario: %s — %s\n", sc.Name(), sc.Description())
 
-	// Budget on tail latency: a configuration qualifies when its p99
-	// stays at or below the ceiling. Pruning stays sound — latency only
-	// grows as configurations get safer.
-	res, err := flexos.ExploreScenario(sc, flexos.MetricP99, *p99Budget,
-		flexos.ExploreOptions{Workers: *workers, Prune: true})
-	if err != nil {
+	quad, _ := sc.Quad()
+	cfgs := flexos.Fig6Space(quad)
+	memo := flexos.NewExploreMemo()
+
+	// Constrain on tail latency AND footprint: a configuration
+	// qualifies when its p99 stays at or below the ceiling and it fits
+	// in 400 KB of simulated memory. Both are ceilings on cost metrics,
+	// so pruning stays sound — they only grow as configurations get
+	// safer.
+	ctx := context.Background()
+	res, err := flexos.NewQuery(cfgs).
+		Workload(sc).
+		Ceiling(flexos.MetricP99, *p99Budget).
+		Ceiling(flexos.MetricPeakMem, 400_000).
+		RankBy(flexos.MetricP99).
+		Workers(*workers).
+		Prune(true).
+		Memo(memo).
+		Run(ctx)
+	if err != nil && !errors.Is(err, flexos.ErrNoFeasible) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("explored %d/%d configurations under a %.2fµs p99 ceiling\n",
+	fmt.Printf("explored %d/%d configurations under a %.2fµs p99 ceiling and a 400KB memory ceiling\n",
 		res.Evaluated, res.Total, *p99Budget)
-	fmt.Printf("safest configurations meeting the ceiling: %d\n", len(res.Safest))
+	fmt.Printf("safest configurations meeting both ceilings: %d\n", len(res.Safest))
 	for _, i := range res.Safest {
 		m := res.Measurements[i]
 		fmt.Printf("  * %-55s %s\n", m.Config.Label(), m.Metrics)
 	}
 
-	// The frontier needs every vector, so rerun exhaustively (the memo
-	// could be shared, but the space is small).
-	full, err := flexos.ExploreScenario(sc, flexos.MetricThroughput, 0,
-		flexos.ExploreOptions{Workers: *workers})
+	// The frontier needs every vector, so rerun unconstrained against
+	// the shared memo: only the points pruning skipped are re-measured.
+	full, err := flexos.NewQuery(cfgs).
+		Workload(sc).
+		Workers(*workers).
+		Memo(memo).
+		Run(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

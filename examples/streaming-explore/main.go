@@ -1,0 +1,95 @@
+// Streaming-explore demonstrates the incremental side of the Query
+// API: a multi-constraint exploration of the 320-point cross-application
+// space whose results are consumed as they are measured, under a
+// wall-clock deadline.
+//
+//  1. Build one Query over CrossAppSpace with two simultaneous
+//     constraints (a throughput floor and a peak-memory ceiling).
+//  2. Stream it: each configuration is yielded the moment the engine
+//     decides it — in input order, so the output is byte-identical for
+//     any worker count — while a running "best so far" is maintained.
+//  3. Bound the whole run with a context deadline; if it fires, the
+//     engine returns an error wrapping flexos.ErrCanceled, no
+//     goroutines leak, and whatever was already streamed stands.
+//
+// Run with: go run ./examples/streaming-explore
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"flexos"
+)
+
+func main() {
+	cfgs := flexos.CrossAppSpace(nil, flexos.RedisComponents(), flexos.NginxComponents())
+
+	// Measure full metric vectors by dispatching each configuration to
+	// the scenario workload of the application it contains — that is
+	// what gives the memory axis real values for the ceiling below.
+	redisSC, _ := flexos.ScenarioByName("redis-get90")
+	nginxSC, _ := flexos.ScenarioByName("nginx-keep75")
+	redisSC, nginxSC = redisSC.WithOps(80), nginxSC.WithOps(80)
+	measure := func(c *flexos.ExploreConfig) (flexos.Metrics, error) {
+		sc := redisSC
+		for _, comp := range c.Components() {
+			if comp == flexos.LibNginx {
+				sc = nginxSC
+				break
+			}
+		}
+		return sc.Run(c.Spec(flexos.TCBLibs()))
+	}
+
+	// Two simultaneous constraints: a throughput floor and a memory
+	// ceiling. Both are in their natural direction, so they also drive
+	// monotonic pruning.
+	q := flexos.NewQuery(cfgs).
+		Measure(measure).
+		Floor(flexos.MetricThroughput, 300_000).
+		Ceiling(flexos.MetricPeakMem, 120_000).
+		Prune(true)
+
+	// A deadline bounds the whole pool; 2 minutes is generous here (the
+	// simulated sweep takes seconds) but shows the shape of a bounded
+	// production exploration.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	stream, final := q.Stream(ctx)
+	measured := 0
+	var bestPerf float64
+	for cfg, m := range stream {
+		measured++
+		if m.Throughput > bestPerf {
+			bestPerf = m.Throughput
+			fmt.Printf("measured %3d: new fastest %-50s %8.0fk op/s\n",
+				measured, cfg.Label(), m.Throughput/1000)
+		}
+	}
+
+	res, err := final()
+	switch {
+	case errors.Is(err, flexos.ErrCanceled):
+		fmt.Fprintf(os.Stderr, "deadline hit after %d measurements — partial stream above still stands\n", measured)
+		os.Exit(1)
+	case errors.Is(err, flexos.ErrNoFeasible):
+		fmt.Println("no configuration satisfies both constraints")
+		return
+	case err != nil:
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nstreamed %d measured configurations (%d of %d pruned away)\n",
+		measured, res.Total-res.Evaluated-res.MemoHits, res.Total)
+	fmt.Println("safest configurations satisfying both constraints:")
+	for _, i := range res.Safest {
+		m := res.Measurements[i]
+		fmt.Printf("  * %-55s %8.0fk op/s\n", m.Config.Label(), m.Perf/1000)
+	}
+}

@@ -18,8 +18,10 @@
 //     stack protector);
 //   - Build the configuration into an Image and run workloads on its
 //     deterministic simulated machine; and
-//   - Explore a whole design space with partial safety ordering,
-//     obtaining the safest configurations under a performance budget.
+//   - explore a whole design space with partial safety ordering through
+//     the Query builder — any number of simultaneous budget constraints,
+//     context cancellation, optional streaming of results — obtaining
+//     the safest configurations that satisfy every constraint.
 //
 // Everything executes on a simulated machine with a cycle-accurate cost
 // model calibrated against the paper's Xeon Silver 4114 measurements, so
@@ -29,6 +31,7 @@
 package flexos
 
 import (
+	"context"
 	"fmt"
 
 	"flexos/internal/config"
@@ -89,12 +92,24 @@ type (
 	ExploreConfig = explore.Config
 	// ExploreResult is the outcome of a design-space exploration.
 	ExploreResult = explore.Result
-	// ExploreOptions configures the parallel exploration engine
-	// (workers, pruning, memoization, progress reporting).
+	// ExploreMeasurement is one decided configuration of an
+	// ExploreResult (and the value a streaming query yields from).
+	ExploreMeasurement = explore.Measurement
+	// ExploreOptions configures the deprecated Explore* entry points.
+	//
+	// Deprecated: build a Query instead.
 	ExploreOptions = explore.Options
 	// ExploreMemo is a measurement cache shared across explorations,
 	// keyed by canonical configuration identity.
 	ExploreMemo = explore.Memo
+	// ExploreConstraint is one feasibility bound of a Query: the
+	// metric's value must satisfy `value Op Bound`.
+	ExploreConstraint = explore.Constraint
+	// ConstraintOp is a constraint direction (AtLeast / AtMost).
+	ConstraintOp = explore.Op
+	// MeasureError is the typed error a failed measurement surfaces,
+	// carrying the failing configuration's ID, canonical key and label.
+	MeasureError = explore.MeasureError
 	// Metrics is the multi-metric vector one workload run produces:
 	// throughput, p50/p99/max latency, peak simulated memory, boot
 	// cycles.
@@ -109,7 +124,8 @@ type (
 	Scenario = scenario.Scenario
 )
 
-// Budget metrics for ExploreMetrics / ExploreScenario.
+// Budget metrics for Query constraints (and the deprecated
+// ExploreMetrics / ExploreScenario).
 const (
 	MetricThroughput = scenario.MetricThroughput
 	MetricP50        = scenario.MetricP50
@@ -118,6 +134,33 @@ const (
 	MetricPeakMem    = scenario.MetricPeakMem
 	MetricBoot       = scenario.MetricBoot
 )
+
+// Constraint directions for Query.Constrain: AtLeast is a floor (the
+// natural direction for throughput), AtMost a ceiling (the natural
+// direction for latency, memory and boot cost).
+const (
+	AtLeast = explore.AtLeast
+	AtMost  = explore.AtMost
+)
+
+// Typed exploration errors. Query.Run returns an error wrapping
+// ErrCanceled when its context is canceled or times out, and one
+// wrapping ErrNoFeasible (alongside the fully-populated result) when
+// no configuration satisfies every constraint.
+var (
+	ErrCanceled   = explore.ErrCanceled
+	ErrNoFeasible = explore.ErrNoFeasible
+)
+
+// ParseConstraint parses the CLI constraint syntax "metric>=bound" /
+// "metric<=bound" (e.g. "throughput>=500000", "p99<=2.5") into a
+// Query constraint.
+func ParseConstraint(s string) (ExploreConstraint, error) { return explore.ParseConstraint(s) }
+
+// NaturalOp returns the direction a budget on the metric traditionally
+// uses: a floor (AtLeast) for higher-is-better metrics, a ceiling
+// (AtMost) otherwise.
+func NaturalOp(m Metric) ConstraintOp { return explore.NaturalOp(m) }
 
 // Gate flavors and sharing strategies.
 const (
@@ -264,31 +307,33 @@ func Fig5Space(blockA, blockB []string) []*ExploreConfig {
 	return explore.Fig5Space(blockA, blockB)
 }
 
-// Explore runs partial safety ordering over a configuration space:
-// measure every configuration (or prune monotonically), then return the
-// safest configurations meeting the performance budget. Measurement
-// fans out over GOMAXPROCS workers; the result is byte-identical to a
-// single-worker run (the simulated machine is deterministic), so
-// parallelism is transparent. Use ExploreWith to control worker count,
-// memoization and progress reporting.
+// Explore runs partial safety ordering over a configuration space with
+// a throughput floor.
+//
+// Deprecated: use the Query builder:
+// NewQuery(cfgs).MeasureScalar(measure).Floor(MetricThroughput,
+// budget).Prune(prune).Run(ctx).
 func Explore(cfgs []*ExploreConfig, measure func(*ExploreConfig) (float64, error), budget float64, prune bool) (*ExploreResult, error) {
-	return explore.RunOpts(cfgs, measure, budget, explore.Options{Prune: prune})
+	return ExploreWith(cfgs, measure, budget, ExploreOptions{Prune: prune})
 }
 
-// ExploreWith is Explore with full engine control: worker count,
-// monotonic pruning, a cross-run measurement memo, and a progress
-// callback. The measure function must be safe for concurrent use when
-// Workers != 1 (every shipped Benchmark* function is: each call builds
-// a fresh catalog and simulated machine).
+// ExploreWith is Explore with engine options.
+//
+// Deprecated: use the Query builder:
+// NewQuery(cfgs).MeasureScalar(measure).Floor(MetricThroughput,
+// budget).Workers(n).Prune(p).Memo(m).Namespace(w).Progress(fn).Run(ctx).
 func ExploreWith(cfgs []*ExploreConfig, measure func(*ExploreConfig) (float64, error), budget float64, opts ExploreOptions) (*ExploreResult, error) {
-	return explore.RunOpts(cfgs, measure, budget, opts)
+	q := NewQuery(cfgs).MeasureScalar(measure).Floor(MetricThroughput, budget).
+		Workers(opts.Workers).Prune(opts.Prune).Memo(opts.Memo).
+		Namespace(opts.Workload).Progress(opts.Progress)
+	return compatResult(q.Run(context.Background()))
 }
 
-// NewExploreMemo returns an empty measurement cache for ExploreWith.
+// NewExploreMemo returns an empty measurement cache for Query.Memo.
 // Share one memo only among explorations whose measure functions agree
 // for identical configurations (same application and request count);
-// set ExploreOptions.Workload to namespace several benchmarks in one
-// memo.
+// Query.Workload and Query.Namespace namespace several benchmarks in
+// one memo.
 func NewExploreMemo() *ExploreMemo { return explore.NewMemo() }
 
 // CrossAppSpace generates a larger cross-application design space: the
@@ -322,25 +367,40 @@ func MeasureScenario(w Workload) func(*ExploreConfig) (Metrics, error) {
 }
 
 // ExploreMetrics explores a configuration space with full metric
-// vectors: the budget applies to the chosen metric (a floor for
-// throughput, a ceiling for latency/memory/boot), and the result's
-// ParetoFront() ranks the safety × throughput × memory frontier.
-// Results are byte-identical for every worker count.
+// vectors under a single natural-direction budget on the chosen metric.
+//
+// Deprecated: use the Query builder, which supports any number of
+// simultaneous constraints:
+// NewQuery(cfgs).Measure(measure).Constrain(metric, op, budget).Run(ctx).
 func ExploreMetrics(cfgs []*ExploreConfig, measure func(*ExploreConfig) (Metrics, error), metric Metric, budget float64, opts ExploreOptions) (*ExploreResult, error) {
-	return explore.RunMetrics(cfgs, measure, metric, budget, opts)
+	c := explore.BudgetConstraint(metric, budget)
+	q := NewQuery(cfgs).Measure(measure).RankBy(metric).
+		Constrain(c.Metric, c.Op, c.Bound).
+		Workers(opts.Workers).Prune(opts.Prune).Memo(opts.Memo).
+		Namespace(opts.Workload).Progress(opts.Progress)
+	return compatResult(q.Run(context.Background()))
 }
 
 // ExploreScenario explores an application's Figure-6 configuration
 // space under a scenario workload, budgeting on the given metric. The
 // scenario must drive a four-component application (Redis, Nginx,
 // iPerf); SQLite scenarios have no Fig6Space shape and return an error.
+//
+// Deprecated: use the Query builder:
+// NewQuery(Fig6Space(quad)).Workload(sc).Constrain(metric, op,
+// budget).Run(ctx). Unlike this wrapper's historical behavior, the
+// builder namespaces the memo by scenario name and op count even when
+// the caller supplies its own Namespace, so distinct scenarios never
+// collide in a shared memo.
 func ExploreScenario(sc *Scenario, metric Metric, budget float64, opts ExploreOptions) (*ExploreResult, error) {
 	quad, ok := sc.Quad()
 	if !ok {
-		return nil, fmt.Errorf("flexos: scenario %s has no four-component space; use ExploreMetrics with a custom space", sc.Name())
+		return nil, fmt.Errorf("flexos: scenario %s has no four-component space; use a Query over a custom space", sc.Name())
 	}
-	if opts.Memo != nil && opts.Workload == "" {
-		opts.Workload = fmt.Sprintf("%s/%d", sc.Name(), sc.Ops())
-	}
-	return explore.RunMetrics(explore.Fig6Space(quad), MeasureScenario(sc), metric, budget, opts)
+	c := explore.BudgetConstraint(metric, budget)
+	q := NewQuery(Fig6Space(quad)).Workload(sc).RankBy(metric).
+		Constrain(c.Metric, c.Op, c.Bound).
+		Workers(opts.Workers).Prune(opts.Prune).Memo(opts.Memo).
+		Namespace(opts.Workload).Progress(opts.Progress)
+	return compatResult(q.Run(context.Background()))
 }

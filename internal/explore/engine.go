@@ -1,7 +1,8 @@
 package explore
 
 import (
-	"fmt"
+	"context"
+	"errors"
 	"runtime"
 	"sort"
 	"sync"
@@ -9,7 +10,10 @@ import (
 	"flexos/internal/scenario"
 )
 
-// Options configures a RunOpts / RunMetrics exploration.
+// Options configures the deprecated RunOpts / RunMetrics wrappers.
+//
+// Deprecated: build a Request (or a flexos.Query) instead; Options
+// survives only so legacy call sites keep compiling.
 type Options struct {
 	// Workers is the number of concurrent measurement goroutines; values
 	// <= 0 select runtime.GOMAXPROCS(0). The result is identical for
@@ -43,6 +47,67 @@ type Options struct {
 	// so far and the space size. It runs on the coordinating goroutine,
 	// never concurrently with itself.
 	Progress func(done, total int)
+}
+
+// Request describes one exploration for Engine.Run: the space, how to
+// measure it, the feasibility constraints, and the engine knobs.
+type Request struct {
+	// Space is the configuration space to explore.
+	Space []*Config
+
+	// Measure benchmarks one configuration into a full metric vector.
+	// It must be deterministic, and safe for concurrent use when
+	// Workers != 1. It is not interrupted mid-call on cancellation;
+	// close over the run's context inside it to bound cancel latency.
+	Measure MeasureMetrics
+
+	// Metric is the ranking metric: the dimension Measurement.Perf and
+	// the DOT shading report. Empty selects the first constraint's
+	// metric, or throughput when there are no constraints.
+	Metric Metric
+
+	// Constraints is the feasibility conjunction: a configuration is
+	// feasible when its vector satisfies every constraint. Constraints
+	// in their natural direction (see Constraint.Monotone) also drive
+	// monotonic pruning when Prune is set. An empty slice means every
+	// measured configuration is feasible.
+	Constraints []Constraint
+
+	// Workers is the number of concurrent measurement goroutines;
+	// values <= 0 select runtime.GOMAXPROCS(0). Results are
+	// byte-identical for every worker count.
+	Workers int
+
+	// Prune enables poset-aware monotonic pruning (§5): a configuration
+	// is skipped when a strictly-less-safe ancestor already violated a
+	// monotone constraint. Sound under concurrent completion order: a
+	// configuration is decided only after all its poset predecessors.
+	Prune bool
+
+	// Memo, when non-nil, caches measurements across runs keyed by
+	// canonical configuration identity (Config.Key). Share one Memo
+	// only among runs whose measure functions agree for identical
+	// configurations; use Workload to namespace several benchmarks in
+	// one memo. Entries carry full metric vectors, so runs constraining
+	// different metrics can share a memo as long as the workload
+	// matches.
+	Memo *Memo
+
+	// Workload namespaces memo keys (e.g. "redis-get90/240").
+	Workload string
+
+	// Progress, when non-nil, is called after each configuration is
+	// decided with the number decided so far and the space size. Runs
+	// on the coordinating goroutine, never concurrently with itself.
+	Progress func(done, total int)
+
+	// Observe, when non-nil, is called on the coordinating goroutine
+	// after each configuration is decided, with the configuration's
+	// index in Space and its (final) Measurement — measured,
+	// memo-filled, inherited from a twin, or pruned. It is what
+	// Query.Stream builds on. Like Progress it never runs concurrently
+	// with itself and must not block indefinitely.
+	Observe func(idx int, m Measurement)
 }
 
 // Memo is a concurrency-safe measurement cache keyed by canonical
@@ -95,31 +160,54 @@ func (m *Memo) do(key string, f func() (Metrics, error)) (mx Metrics, hit bool, 
 	return e.metrics, false, e.err
 }
 
-// RunOpts explores a configuration space with a parallel, memoized
-// engine. It builds the safety poset, fans measurement across a worker
-// pool, deduplicates identical configurations (within the space, and —
-// given a Memo — across spaces and runs), and prunes monotonically when
-// asked. The Result is byte-identical for every worker count: decisions
-// depend only on the poset and the deterministic measure function, pool
-// scheduling only affects wall-clock time.
-//
-// Unlike the sequential reference engine (Run), identical configurations
-// within one space are measured once here: the lowest-index occurrence
-// measures, the twins inherit the value with Cached set.
-func RunOpts(cfgs []*Config, measure Measure, budget float64, opts Options) (*Result, error) {
-	return RunMetrics(cfgs, liftMeasure(measure), scenario.MetricThroughput, budget, opts)
-}
+// Engine is the one exploration engine. It is stateless — the zero
+// value is ready to use — and every public exploration surface (the
+// flexos.Query builder, the deprecated Run* wrappers, the figures
+// package) funnels into its Run method.
+type Engine struct{}
 
-// RunMetrics is the multi-metric form of RunOpts: measurements carry
-// full metric vectors, the budget applies to the chosen metric (a floor
-// for throughput, a ceiling for latency/memory/boot metrics), and the
-// result exposes ParetoFront(). Like RunOpts it is byte-identical for
-// every worker count and matches RunMetricsSequential exactly.
-func RunMetrics(cfgs []*Config, measure MeasureMetrics, metric Metric, budget float64, opts Options) (*Result, error) {
-	if metric == "" {
-		metric = scenario.MetricThroughput
+// Run explores a configuration space: it builds the safety poset, fans
+// measurement across a worker pool, deduplicates identical
+// configurations (within the space, and — given a Memo — across spaces
+// and runs), prunes monotonically when asked, and extracts the safest
+// feasible configurations. The Result is byte-identical for every
+// worker count: decisions depend only on the poset, the constraints and
+// the deterministic measure function; pool scheduling only affects
+// wall-clock time.
+//
+// Identical configurations within one space are measured once: the
+// lowest-index occurrence measures, its twins inherit the value with
+// Cached set.
+//
+// Cancellation: when ctx is canceled or its deadline expires, Run stops
+// submitting measurements, waits for in-flight ones to return (measure
+// functions are never interrupted mid-call — have them watch the same
+// ctx to keep cancellation prompt), and returns an error wrapping
+// ErrCanceled. No goroutines outlive the call and a shared Memo is left
+// reusable.
+//
+// Errors: a measure failure surfaces as a *MeasureError for the
+// lowest-index failing configuration (stable across worker counts). A
+// completed run whose constraints no configuration satisfies returns
+// the fully-populated Result together with ErrNoFeasible.
+func (Engine) Run(ctx context.Context, req Request) (*Result, error) {
+	if req.Measure == nil {
+		return nil, errors.New("explore: request has no measure function")
 	}
-	workers := opts.Workers
+	if err := ctx.Err(); err != nil {
+		return nil, canceledError(ctx)
+	}
+	metric := req.Metric
+	if metric == "" {
+		if len(req.Constraints) > 0 {
+			metric = req.Constraints[0].Metric
+		}
+		if metric == "" {
+			metric = scenario.MetricThroughput
+		}
+	}
+	cfgs := req.Space
+	workers := req.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -131,9 +219,17 @@ func RunMetrics(cfgs []*Config, measure MeasureMetrics, metric Metric, budget fl
 	res := &Result{
 		Measurements: make([]Measurement, len(cfgs)),
 		Total:        len(cfgs),
-		Budget:       budget,
 		Metric:       metric,
+		Constraints:  append([]Constraint(nil), req.Constraints...),
 		poset:        p,
+	}
+	// Budget echoes the ranking metric's bound for legacy consumers
+	// (Result.String, single-budget callers).
+	for _, c := range res.Constraints {
+		if c.Metric == metric {
+			res.Budget = c.Bound
+			break
+		}
 	}
 	for i, c := range cfgs {
 		res.Measurements[i].Config = c
@@ -155,7 +251,7 @@ func RunMetrics(cfgs []*Config, measure MeasureMetrics, metric Metric, budget fl
 	canon := make([]int, n)
 	group := make(map[string]int, n)
 	for i, c := range cfgs {
-		keys[i] = opts.Workload + "\x00" + c.Key()
+		keys[i] = req.Workload + "\x00" + c.Key()
 		if first, ok := group[keys[i]]; ok {
 			canon[i] = first
 		} else {
@@ -165,7 +261,10 @@ func RunMetrics(cfgs []*Config, measure MeasureMetrics, metric Metric, budget fl
 	}
 
 	// Worker pool. Workers only run measure (through the memo); all
-	// scheduling state below is owned by this goroutine.
+	// scheduling state below is owned by the coordinating goroutine.
+	// Both channels are sized for the whole space, so neither submit
+	// nor completion ever blocks — which is what lets the coordinator
+	// drain cleanly on cancellation.
 	type outcome struct {
 		idx     int
 		metrics Metrics
@@ -182,12 +281,16 @@ func RunMetrics(cfgs []*Config, measure MeasureMetrics, metric Metric, budget fl
 			for i := range jobs {
 				var o outcome
 				o.idx = i
-				if opts.Memo != nil {
-					o.metrics, o.hit, o.err = opts.Memo.do(keys[i], func() (Metrics, error) {
-						return measure(cfgs[i])
+				if err := ctx.Err(); err != nil {
+					// Canceled while queued: report without measuring
+					// (and without planting a memo entry).
+					o.err = err
+				} else if req.Memo != nil {
+					o.metrics, o.hit, o.err = req.Memo.do(keys[i], func() (Metrics, error) {
+						return req.Measure(cfgs[i])
 					})
 				} else {
-					o.metrics, o.err = measure(cfgs[i])
+					o.metrics, o.err = req.Measure(cfgs[i])
 				}
 				outcomes <- o
 			}
@@ -204,6 +307,7 @@ func RunMetrics(cfgs []*Config, measure MeasureMetrics, metric Metric, budget fl
 		inFlight    int
 		done        int
 		failed      bool
+		canceled    bool
 		errs        []outcome
 	)
 	for i := range cfgs {
@@ -213,8 +317,11 @@ func RunMetrics(cfgs []*Config, measure MeasureMetrics, metric Metric, budget fl
 	markDecided := func(i int) {
 		decided[i] = true
 		done++
-		if opts.Progress != nil {
-			opts.Progress(done, n)
+		if req.Progress != nil {
+			req.Progress(done, n)
+		}
+		if req.Observe != nil {
+			req.Observe(i, res.Measurements[i])
 		}
 		toProp = append(toProp, i)
 	}
@@ -230,13 +337,13 @@ func RunMetrics(cfgs []*Config, measure MeasureMetrics, metric Metric, budget fl
 			res.Evaluated++
 		}
 		valued[i] = true
-		if !metric.Meets(m.Perf, budget) {
+		if failsMonotone(res.Constraints, mx) {
 			failsBudget[i] = true
 		}
 		markDecided(i)
 	}
 	ready := func(i int) {
-		if opts.Prune {
+		if req.Prune {
 			for _, pr := range preds[i] {
 				if failsBudget[pr] {
 					res.Measurements[i].Pruned = true
@@ -257,7 +364,7 @@ func RunMetrics(cfgs []*Config, measure MeasureMetrics, metric Metric, budget fl
 			}
 			return
 		}
-		if failed {
+		if failed || canceled {
 			return // abandoned run: stop submitting new measurements
 		}
 		inFlight++
@@ -287,8 +394,22 @@ func RunMetrics(cfgs []*Config, measure MeasureMetrics, metric Metric, budget fl
 	}
 	drain()
 	for inFlight > 0 {
-		o := <-outcomes
+		var o outcome
+		if canceled || failed {
+			// Winding down: just collect what is already in flight.
+			o = <-outcomes
+		} else {
+			select {
+			case <-ctx.Done():
+				canceled = true
+				continue
+			case o = <-outcomes:
+			}
+		}
 		inFlight--
+		if canceled {
+			continue
+		}
 		if o.err != nil {
 			failed = true
 			errs = append(errs, o)
@@ -307,15 +428,43 @@ func RunMetrics(cfgs []*Config, measure MeasureMetrics, metric Metric, budget fl
 	close(jobs)
 	wg.Wait()
 
+	// Cancellation wins over measure errors it provoked: a cooperative
+	// measure function typically surfaces the context's error, which
+	// must not masquerade as a measurement failure. But a run whose
+	// every configuration was decided is complete — a deadline firing
+	// between the last decision and the return must not discard it.
+	if done < n && (canceled || ctx.Err() != nil) {
+		return nil, canceledError(ctx)
+	}
 	if failed {
 		// Report the lowest-index failure so the error is stable across
 		// worker counts when a single configuration is at fault.
 		sort.Slice(errs, func(a, b int) bool { return errs[a].idx < errs[b].idx })
 		o := errs[0]
-		return nil, fmt.Errorf("explore: measuring config %d (%s): %w",
-			cfgs[o.idx].ID, cfgs[o.idx].Label(), o.err)
+		c := cfgs[o.idx]
+		return nil, &MeasureError{ID: c.ID, Key: c.Key(), Label: c.Label(), Err: o.err}
 	}
 
-	res.Safest = safest(p, res, metric, budget)
+	res.Safest = safest(p, res)
+	if len(res.Constraints) > 0 && res.Total > 0 && len(res.Safest) == 0 {
+		return res, ErrNoFeasible
+	}
 	return res, nil
 }
+
+// canceledError wraps ErrCanceled with the context's cause, so callers
+// can distinguish a deadline from an explicit cancel via errors.Is.
+func canceledError(ctx context.Context) error {
+	if cause := context.Cause(ctx); cause != nil {
+		return &canceled{cause: cause}
+	}
+	return ErrCanceled
+}
+
+type canceled struct{ cause error }
+
+func (c *canceled) Error() string { return ErrCanceled.Error() + ": " + c.cause.Error() }
+
+// Unwrap lets errors.Is see both ErrCanceled and the context cause
+// (context.Canceled or context.DeadlineExceeded).
+func (c *canceled) Unwrap() []error { return []error{ErrCanceled, c.cause} }

@@ -1,0 +1,54 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The engine's typed error set. Engine.Run returns exactly one of:
+//
+//   - nil — the exploration completed;
+//   - ErrCanceled (wrapped) — the context was canceled or its deadline
+//     expired before the space was decided;
+//   - ErrNoFeasible (wrapped) — the run completed but no configuration
+//     satisfied every constraint; the returned Result is still valid
+//     and carries every measurement;
+//   - *MeasureError — a measure function failed; the error carries the
+//     failing configuration's canonical key.
+var (
+	// ErrCanceled reports a run cut short by context cancellation or
+	// deadline expiry. The engine stops submitting new measurements,
+	// waits for in-flight ones to return (measure functions are not
+	// interrupted mid-call; make them watch the same context to bound
+	// latency), and leaves any shared Memo in a reusable state.
+	ErrCanceled = errors.New("explore: exploration canceled")
+
+	// ErrNoFeasible reports that a constrained run finished with an
+	// empty feasible set: no configuration met every constraint. It is
+	// returned alongside a fully-populated Result, so callers can still
+	// inspect the measurements that ruled everything out.
+	ErrNoFeasible = errors.New("explore: no configuration satisfies the constraints")
+)
+
+// MeasureError wraps a measure-function failure with the identity of
+// the configuration that triggered it: its index-stable ID, its
+// canonical key (Config.Key), and its human label. When several
+// configurations fail in one run, the engine reports the lowest-index
+// failure, so the error is stable across worker counts.
+type MeasureError struct {
+	// ID is the failing configuration's ID within its space.
+	ID int
+	// Key is the configuration's canonical identity (Config.Key).
+	Key string
+	// Label is the configuration's compact human label.
+	Label string
+	// Err is the measure function's error.
+	Err error
+}
+
+func (e *MeasureError) Error() string {
+	return fmt.Sprintf("explore: measuring config %d (%s): %v", e.ID, e.Label, e.Err)
+}
+
+// Unwrap exposes the underlying measurement error to errors.Is/As.
+func (e *MeasureError) Unwrap() error { return e.Err }

@@ -7,14 +7,18 @@
 // measurement monotonically along safety paths, and extracts the safest
 // configurations under a performance budget (the stars of Figure 8).
 //
-// Measurement runs through one of two engines: Run, the simple
-// sequential reference, and RunOpts, the production engine — a worker
-// pool fanning measurements across goroutines, memoization keyed by
-// canonical configuration identity (Config.Key) so identical points
-// within and across spaces are measured once, and pruning that stays
+// Measurement runs through one engine: Engine.Run, which takes a
+// context.Context and a Request — a worker pool fanning measurements
+// across goroutines, memoization keyed by canonical configuration
+// identity (Config.Key) so identical points within and across spaces
+// are measured once, any number of simultaneous feasibility
+// constraints (floors and ceilings on any metric), pruning that stays
 // sound under concurrent completion by deciding a configuration only
-// after all its poset predecessors are decided. Both engines return
-// byte-identical results for any worker count.
+// after all its poset predecessors are decided, and cooperative
+// cancellation with a typed error set (ErrCanceled, ErrNoFeasible,
+// MeasureError). Results are byte-identical for any worker count. The
+// legacy Run/RunOpts/RunMetrics/RunMetricsSequential entry points
+// survive as deprecated thin wrappers over the same engine.
 package explore
 
 import (

@@ -1,6 +1,8 @@
 package explore
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -25,7 +27,7 @@ type Measure func(*Config) (float64, error)
 
 // MeasureMetrics benchmarks one configuration and returns its full
 // metric vector (throughput, latency percentiles, peak memory, boot
-// cost). The engine budgets on one dimension — the run's Metric — and
+// cost). The engine constrains and ranks on chosen dimensions and
 // carries the whole vector through results, memos and Pareto frontiers.
 type MeasureMetrics func(*Config) (Metrics, error)
 
@@ -44,7 +46,7 @@ func liftMeasure(measure Measure) MeasureMetrics {
 // Measurement is one labeled poset node.
 type Measurement struct {
 	Config *Config
-	// Perf is the budget metric's value in natural units (0 when
+	// Perf is the ranking metric's value in natural units (0 when
 	// pruned): for the default throughput metric, operations per
 	// second; for latency metrics, microseconds; for mem/boot, bytes
 	// and cycles.
@@ -55,12 +57,11 @@ type Measurement struct {
 	Metrics Metrics
 	// Evaluated is false when monotonic pruning skipped the run.
 	Evaluated bool
-	// Pruned is true when a less-safe ancestor already missed the
-	// budget, so this config could not meet it either.
+	// Pruned is true when a less-safe ancestor already violated a
+	// monotone constraint, so this config could not satisfy it either.
 	Pruned bool
-	// Cached is true when the parallel engine filled the vector from a
-	// memo hit or from an identical configuration instead of a fresh
-	// run.
+	// Cached is true when the engine filled the vector from a memo hit
+	// or from an identical configuration instead of a fresh run.
 	Cached bool
 }
 
@@ -68,20 +69,22 @@ type Measurement struct {
 type Result struct {
 	// Measurements holds one entry per configuration, in input order.
 	Measurements []Measurement
-	// Safest are the indices of the safest configurations meeting the
-	// budget — the maximal elements of the budget-filtered poset (the
-	// stars of Figure 8).
+	// Safest are the indices of the safest feasible configurations —
+	// the maximal elements of the constraint-filtered poset (the stars
+	// of Figure 8).
 	Safest []int
 	// Evaluated counts actually-run benchmarks; Total is the space
 	// size. Their ratio quantifies the §5 claim that pruning
 	// "significantly limits combinatorial explosion".
 	Evaluated, Total int
 	// MemoHits counts configurations whose value came from the memo or
-	// an identical twin within the space instead of a fresh run
-	// (parallel engine only; always 0 for the sequential reference).
+	// an identical twin within the space instead of a fresh run.
 	MemoHits int
-	// Budget echoes the performance floor (or, for lower-is-better
-	// metrics, ceiling) used; Metric the dimension it applies to.
+	// Constraints echoes the feasibility conjunction of the run.
+	Constraints []Constraint
+	// Budget echoes the ranking metric's bound when one of the
+	// constraints applies to it (legacy single-budget callers); Metric
+	// is the ranking dimension Perf reports.
 	Budget float64
 	Metric Metric
 
@@ -91,94 +94,76 @@ type Result struct {
 // Poset returns the safety poset underlying the result.
 func (r *Result) Poset() *poset.Poset[*Config] { return r.poset }
 
-// Run is the sequential reference engine: it builds the safety poset,
-// walks it from the least-safe configurations upward, measures each
-// configuration with measure, and — when prune is true — skips any
-// configuration one of whose strictly-less-safe ancestors already fell
-// below the budget (sound under the §5 assumption that performance
-// decreases monotonically with safety).
+// Feasible reports whether measurement i was evaluated and satisfies
+// every constraint of the run.
+func (r *Result) Feasible(i int) bool {
+	m := r.Measurements[i]
+	return m.Evaluated && meetsAll(r.Constraints, m.Metrics)
+}
+
+// Run is the sequential form of the engine: one worker, no memo.
 //
-// Production callers should prefer RunOpts, the parallel memoized
-// engine, which returns byte-identical results; Run survives as the
-// independent oracle the engine's tests compare against.
+// Deprecated: use Engine.Run with Workers: 1, or a flexos.Query; Run
+// survives as a compile-compatible wrapper (and as the tests'
+// single-worker reference invocation).
 func Run(cfgs []*Config, measure Measure, budget float64, prune bool) (*Result, error) {
 	return RunMetricsSequential(cfgs, liftMeasure(measure), scenario.MetricThroughput, budget, prune)
 }
 
-// RunMetricsSequential is the sequential reference engine for
-// multi-metric measurement: like Run, but carrying full metric vectors
-// and budgeting on the chosen metric. For lower-is-better metrics
-// (latency percentiles, memory, boot) the budget is a ceiling and
-// pruning cuts configurations whose less-safe ancestor already exceeds
-// it — sound under the same monotonicity assumption, since every cost
-// metric worsens with safety. It is the oracle RunMetrics' tests
-// compare against.
+// RunMetricsSequential is the sequential multi-metric form of the
+// engine: one worker, full metric vectors, a single natural-direction
+// budget on the chosen metric.
+//
+// Deprecated: use Engine.Run with Workers: 1 and explicit Constraints,
+// or a flexos.Query.
 func RunMetricsSequential(cfgs []*Config, measure MeasureMetrics, metric Metric, budget float64, prune bool) (*Result, error) {
-	if metric == "" {
-		metric = scenario.MetricThroughput
-	}
-	p := Poset(cfgs)
-	res := &Result{
-		Measurements: make([]Measurement, len(cfgs)),
-		Total:        len(cfgs),
-		Budget:       budget,
-		Metric:       metric,
-		poset:        p,
-	}
-	for i, c := range cfgs {
-		res.Measurements[i].Config = c
-	}
-
-	// Predecessor lists from the covering relation.
-	preds := make([][]int, len(cfgs))
-	for _, e := range p.Edges() {
-		preds[e[1]] = append(preds[e[1]], e[0])
-	}
-
-	failsBudget := make([]bool, len(cfgs))
-	for _, i := range p.TopoOrder() {
-		if prune {
-			skip := false
-			for _, pr := range preds[i] {
-				if failsBudget[pr] {
-					skip = true
-					break
-				}
-			}
-			if skip {
-				res.Measurements[i].Pruned = true
-				failsBudget[i] = true // propagate
-				continue
-			}
-		}
-		mx, err := measure(cfgs[i])
-		if err != nil {
-			return nil, fmt.Errorf("explore: measuring config %d (%s): %w", cfgs[i].ID, cfgs[i].Label(), err)
-		}
-		res.Measurements[i].Metrics = mx
-		res.Measurements[i].Perf = metric.Value(mx)
-		res.Measurements[i].Evaluated = true
-		res.Evaluated++
-		if !metric.Meets(res.Measurements[i].Perf, budget) {
-			failsBudget[i] = true
-		}
-	}
-
-	res.Safest = safest(p, res, metric, budget)
-	return res, nil
+	res, err := Engine{}.Run(context.Background(), Request{
+		Space: cfgs, Measure: measure, Metric: metric, Workers: 1, Prune: prune,
+		Constraints: []Constraint{BudgetConstraint(metric, budget)}})
+	return res, ignoreNoFeasible(err)
 }
 
-// safest computes the budget-filtered maximal elements: the safest
-// configurations whose budget-metric value meets the budget. Pruned
-// nodes cannot meet it by the monotonicity assumption.
-func safest(p *poset.Poset[*Config], res *Result, metric Metric, budget float64) []int {
+// RunOpts explores a configuration space with the engine under the
+// legacy scalar single-budget surface.
+//
+// Deprecated: use Engine.Run with a Request, or a flexos.Query.
+func RunOpts(cfgs []*Config, measure Measure, budget float64, opts Options) (*Result, error) {
+	return RunMetrics(cfgs, liftMeasure(measure), scenario.MetricThroughput, budget, opts)
+}
+
+// RunMetrics explores a configuration space with full metric vectors
+// and a single natural-direction budget on the chosen metric (a floor
+// for throughput, a ceiling for latency/memory/boot).
+//
+// Deprecated: use Engine.Run with a Request carrying Constraints, or a
+// flexos.Query.
+func RunMetrics(cfgs []*Config, measure MeasureMetrics, metric Metric, budget float64, opts Options) (*Result, error) {
+	res, err := Engine{}.Run(context.Background(), Request{
+		Space: cfgs, Measure: measure, Metric: metric, Workers: opts.Workers, Prune: opts.Prune,
+		Memo: opts.Memo, Workload: opts.Workload, Progress: opts.Progress,
+		Constraints: []Constraint{BudgetConstraint(metric, budget)}})
+	return res, ignoreNoFeasible(err)
+}
+
+// ignoreNoFeasible restores the legacy contract of the Run* wrappers:
+// an infeasible-but-complete run is not an error, just an empty Safest.
+func ignoreNoFeasible(err error) error {
+	if errors.Is(err, ErrNoFeasible) {
+		return nil
+	}
+	return err
+}
+
+// safest computes the constraint-filtered maximal elements: the safest
+// configurations whose metric vectors satisfy every constraint. Pruned
+// nodes cannot be feasible by the monotonicity assumption.
+func safest(p *poset.Poset[*Config], res *Result) []int {
 	index := make(map[*Config]int, len(res.Measurements))
 	for i := range res.Measurements {
 		index[res.Measurements[i].Config] = i
 	}
 	out := p.Maximal(func(c *Config) bool {
-		m := res.Measurements[index[c]]
-		return m.Evaluated && metric.Meets(m.Perf, budget)
+		return res.Feasible(index[c])
 	})
 	sort.Ints(out)
 	return out
@@ -201,8 +186,8 @@ func (r *Result) String() string {
 
 // DOT renders the exploration result as a Graphviz Hasse diagram:
 // node shade encodes performance (black = fastest, like Figure 8),
-// double octagons mark the safest-under-budget configurations, dashed
-// nodes were pruned.
+// double octagons mark the safest feasible configurations, dashed
+// nodes were pruned or infeasible.
 func (r *Result) DOT(name string) string {
 	metric := r.Metric
 	if metric == "" {
@@ -231,7 +216,7 @@ func (r *Result) DOT(name string) string {
 			Label:  c.Label(),
 			Shade:  shade,
 			Star:   stars[i],
-			Pruned: m.Pruned || (m.Evaluated && !metric.Meets(m.Perf, r.Budget)),
+			Pruned: m.Pruned || (m.Evaluated && !r.Feasible(i)),
 		}
 	})
 }

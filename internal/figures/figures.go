@@ -7,8 +7,9 @@
 package figures
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 
@@ -18,6 +19,7 @@ import (
 	"flexos/internal/core"
 	"flexos/internal/explore"
 	"flexos/internal/oslib"
+	"flexos/internal/scenario"
 )
 
 // tcbLibs joins every default compartment.
@@ -37,13 +39,14 @@ type ConfigPerf struct {
 // Results are sorted by throughput ascending, like the paper's plot.
 // Measurement fans out over GOMAXPROCS workers (see Fig6RedisWorkers).
 func Fig6Redis(requests int) ([]ConfigPerf, error) {
-	return Fig6RedisWorkers(requests, 0)
+	return Fig6RedisWorkers(context.Background(), requests, 0)
 }
 
 // Fig6RedisWorkers is Fig6Redis with an explicit worker count
-// (<= 0 selects GOMAXPROCS). Results are identical for every count.
-func Fig6RedisWorkers(requests, workers int) ([]ConfigPerf, error) {
-	return fig6(redisapp.Components4(), workers, func(spec core.ImageSpec) (float64, error) {
+// (<= 0 selects GOMAXPROCS) and a context bounding the sweep. Results
+// are identical for every count.
+func Fig6RedisWorkers(ctx context.Context, requests, workers int) ([]ConfigPerf, error) {
+	return fig6(ctx, redisapp.Components4(), workers, func(spec core.ImageSpec) (float64, error) {
 		res, err := redisapp.Benchmark(spec, requests)
 		if err != nil {
 			return 0, err
@@ -54,12 +57,13 @@ func Fig6RedisWorkers(requests, workers int) ([]ConfigPerf, error) {
 
 // Fig6Nginx measures the Nginx half of the space (Figure 6 bottom).
 func Fig6Nginx(requests int) ([]ConfigPerf, error) {
-	return Fig6NginxWorkers(requests, 0)
+	return Fig6NginxWorkers(context.Background(), requests, 0)
 }
 
-// Fig6NginxWorkers is Fig6Nginx with an explicit worker count.
-func Fig6NginxWorkers(requests, workers int) ([]ConfigPerf, error) {
-	return fig6(nginxapp.Components4(), workers, func(spec core.ImageSpec) (float64, error) {
+// Fig6NginxWorkers is Fig6Nginx with an explicit worker count and a
+// context bounding the sweep.
+func Fig6NginxWorkers(ctx context.Context, requests, workers int) ([]ConfigPerf, error) {
+	return fig6(ctx, nginxapp.Components4(), workers, func(spec core.ImageSpec) (float64, error) {
 		res, err := nginxapp.Benchmark(spec, requests)
 		if err != nil {
 			return 0, err
@@ -68,13 +72,19 @@ func Fig6NginxWorkers(requests, workers int) ([]ConfigPerf, error) {
 	})
 }
 
-// fig6 sweeps the space through the parallel engine exhaustively (the
-// figure plots every point, so the budget is -Inf and nothing prunes).
-func fig6(components [4]string, workers int, measure func(core.ImageSpec) (float64, error)) ([]ConfigPerf, error) {
+// fig6 sweeps the space through the engine exhaustively (the figure
+// plots every point, so the run carries no constraints and nothing
+// prunes).
+func fig6(ctx context.Context, components [4]string, workers int, measure func(core.ImageSpec) (float64, error)) ([]ConfigPerf, error) {
 	cfgs := explore.Fig6Space(components)
-	res, err := explore.RunOpts(cfgs, func(c *explore.Config) (float64, error) {
-		return measure(c.Spec(tcbLibs()))
-	}, math.Inf(-1), explore.Options{Workers: workers})
+	res, err := explore.Engine{}.Run(ctx, explore.Request{
+		Space: cfgs,
+		Measure: func(c *explore.Config) (explore.Metrics, error) {
+			v, err := measure(c.Spec(tcbLibs()))
+			return explore.Metrics{Throughput: v}, err
+		},
+		Workers: workers,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("figures: %w", err)
 	}
@@ -179,22 +189,28 @@ type Fig8Result struct {
 // measurements monotonic pruning saved. Measurement is parallel; see
 // Fig8Workers for an explicit worker count.
 func Fig8(requests int, budget float64) (*Fig8Result, error) {
-	return Fig8Workers(requests, budget, 0)
+	return Fig8Workers(context.Background(), requests, budget, 0)
 }
 
 // Fig8Workers is Fig8 with an explicit worker count (<= 0 selects
-// GOMAXPROCS).
-func Fig8Workers(requests int, budget float64, workers int) (*Fig8Result, error) {
+// GOMAXPROCS) and a context bounding the exploration.
+func Fig8Workers(ctx context.Context, requests int, budget float64, workers int) (*Fig8Result, error) {
 	cfgs := explore.Fig6Space(redisapp.Components4())
-	measure := func(c *explore.Config) (float64, error) {
+	measure := func(c *explore.Config) (explore.Metrics, error) {
 		res, err := redisapp.Benchmark(c.Spec(tcbLibs()), requests)
 		if err != nil {
-			return 0, err
+			return explore.Metrics{}, err
 		}
-		return res.ReqPerSec, nil
+		return explore.Metrics{Throughput: res.ReqPerSec}, nil
 	}
-	res, err := explore.RunOpts(cfgs, measure, budget, explore.Options{Workers: workers, Prune: true})
-	if err != nil {
+	res, err := explore.Engine{}.Run(ctx, explore.Request{
+		Space:       cfgs,
+		Measure:     measure,
+		Constraints: []explore.Constraint{explore.BudgetConstraint(scenario.MetricThroughput, budget)},
+		Workers:     workers,
+		Prune:       true,
+	})
+	if err != nil && !errors.Is(err, explore.ErrNoFeasible) {
 		return nil, err
 	}
 	out := &Fig8Result{Result: res, Budget: budget, Evaluated: res.Evaluated, Total: res.Total}

@@ -1,6 +1,8 @@
 package figures
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -16,6 +18,7 @@ import (
 	"flexos/internal/netstack"
 	"flexos/internal/oslib"
 	"flexos/internal/ramfs"
+	"flexos/internal/scenario"
 	"flexos/internal/timesys"
 	"flexos/internal/vfs"
 )
@@ -33,26 +36,31 @@ type Fig5Node struct {
 // hardening over {none, CFI, ASAN, CFI+ASAN}, pruned under a budget.
 // Measurement is parallel; see Fig5Workers for an explicit count.
 func Fig5(requests int, budget float64) ([]Fig5Node, error) {
-	return Fig5Workers(requests, budget, 0)
+	return Fig5Workers(context.Background(), requests, budget, 0)
 }
 
 // Fig5Workers is Fig5 with an explicit worker count (<= 0 selects
-// GOMAXPROCS).
-func Fig5Workers(requests int, budget float64, workers int) ([]Fig5Node, error) {
+// GOMAXPROCS) and a context bounding the sweep.
+func Fig5Workers(ctx context.Context, requests int, budget float64, workers int) ([]Fig5Node, error) {
 	comps := [4]string{"libredis", libc.Name, oslib.SchedName, netstack.Name}
 	cfgs := explore.Fig5Space(
 		[]string{comps[0], comps[1], comps[2]},
 		[]string{comps[3]},
 	)
-	measure := func(c *explore.Config) (float64, error) {
+	measure := func(c *explore.Config) (explore.Metrics, error) {
 		res, err := redisBenchmark(c.Spec(tcbLibs()), requests)
 		if err != nil {
-			return 0, err
+			return explore.Metrics{}, err
 		}
-		return res, nil
+		return explore.Metrics{Throughput: res}, nil
 	}
-	res, err := explore.RunOpts(cfgs, measure, budget, explore.Options{Workers: workers})
-	if err != nil {
+	res, err := explore.Engine{}.Run(ctx, explore.Request{
+		Space:       cfgs,
+		Measure:     measure,
+		Constraints: []explore.Constraint{explore.BudgetConstraint(scenario.MetricThroughput, budget)},
+		Workers:     workers,
+	})
+	if err != nil && !errors.Is(err, explore.ErrNoFeasible) {
 		return nil, err
 	}
 	stars := map[int]bool{}

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -45,12 +46,12 @@ func checkGolden(t *testing.T, name, got string) {
 }
 
 func TestGoldenFig6(t *testing.T) {
-	redisRows, err := Fig6RedisWorkers(goldenRequests, 0)
+	redisRows, err := Fig6RedisWorkers(context.Background(), goldenRequests, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "fig6-redis", FormatFig6("Redis", redisRows))
-	nginxRows, err := Fig6NginxWorkers(goldenRequests, 0)
+	nginxRows, err := Fig6NginxWorkers(context.Background(), goldenRequests, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,11 +59,11 @@ func TestGoldenFig6(t *testing.T) {
 }
 
 func TestGoldenFig7(t *testing.T) {
-	redisRows, err := Fig6RedisWorkers(goldenRequests, 0)
+	redisRows, err := Fig6RedisWorkers(context.Background(), goldenRequests, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nginxRows, err := Fig6NginxWorkers(goldenRequests, 0)
+	nginxRows, err := Fig6NginxWorkers(context.Background(), goldenRequests, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestGoldenFig7(t *testing.T) {
 }
 
 func TestGoldenFig8(t *testing.T) {
-	res, err := Fig8Workers(goldenRequests, 500_000, 0)
+	res, err := Fig8Workers(context.Background(), goldenRequests, 500_000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestGoldenScenarios(t *testing.T) {
 }
 
 func TestGoldenPareto(t *testing.T) {
-	res, err := ScenarioPareto("redis-get90", 0)
+	res, err := ScenarioPareto(context.Background(), "redis-get90", 0)
 	if err != nil {
 		t.Fatal(err)
 	}

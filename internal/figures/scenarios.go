@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -140,9 +141,9 @@ func FormatPareto(title string, res *explore.Result) string {
 }
 
 // ScenarioPareto explores a scenario's Figure-6 space exhaustively with
-// the parallel engine and returns the result for frontier extraction —
-// the multi-metric counterpart of Fig8.
-func ScenarioPareto(name string, workers int) (*explore.Result, error) {
+// the engine and returns the result for frontier extraction — the
+// multi-metric counterpart of Fig8.
+func ScenarioPareto(ctx context.Context, name string, workers int) (*explore.Result, error) {
 	sc, ok := scenario.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("figures: unknown scenario %q", name)
@@ -151,10 +152,14 @@ func ScenarioPareto(name string, workers int) (*explore.Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("figures: scenario %q has no Fig6 space", name)
 	}
-	cfgs := explore.Fig6Space(quad)
-	return explore.RunMetrics(cfgs, func(c *explore.Config) (scenario.Metrics, error) {
-		return sc.Run(c.Spec(tcbLibs()))
-	}, scenario.MetricThroughput, 0, explore.Options{Workers: workers})
+	return explore.Engine{}.Run(ctx, explore.Request{
+		Space: explore.Fig6Space(quad),
+		Measure: func(c *explore.Config) (scenario.Metrics, error) {
+			return sc.Run(c.Spec(tcbLibs()))
+		},
+		Metric:  scenario.MetricThroughput,
+		Workers: workers,
+	})
 }
 
 // ScenariosCSV flattens the scenario table for CSV export.

@@ -85,6 +85,13 @@ func (s *Scenario) WithOps(n int) *Scenario {
 	return &c
 }
 
+// MemoKey returns the namespace under which the scenario's
+// measurements may be cached in an exploration memo: the scenario name
+// plus the operation count, e.g. "redis-get90/240". Two scenarios (or
+// the same scenario at different op counts) never share a namespace,
+// because their metric vectors differ even on identical images.
+func (s *Scenario) MemoKey() string { return fmt.Sprintf("%s/%d", s.name, s.ops) }
+
 // Run implements Workload.
 func (s *Scenario) Run(spec core.ImageSpec) (Metrics, error) {
 	m, err := s.run(s, spec)

@@ -1,0 +1,286 @@
+package flexos
+
+import (
+	"context"
+	"errors"
+	"iter"
+
+	"flexos/internal/explore"
+)
+
+// Query is the one exploration surface of the package: a fluent
+// builder over the unified engine. Construct it with NewQuery, chain
+// option calls, then Run it (or Stream it) under a context:
+//
+//	res, err := flexos.NewQuery(flexos.Fig6Space(flexos.RedisComponents())).
+//		Workload(sc).
+//		Constrain(flexos.MetricThroughput, flexos.AtLeast, 500_000).
+//		Constrain(flexos.MetricP99, flexos.AtMost, 2.5).
+//		Workers(8).
+//		Prune(true).
+//		Run(ctx)
+//
+// A Query carries any number of simultaneous constraints (a throughput
+// floor AND a p99 ceiling AND a memory ceiling, say); feasibility is
+// their conjunction, and constraints in their natural direction drive
+// monotonic pruning. The context cancels or deadlines the whole worker
+// pool: Run returns an error wrapping ErrCanceled, promptly if the
+// measure function watches the same context.
+//
+// A Query value is reusable: Run and Stream take a snapshot of the
+// builder state, so the same Query may run several times (sharing a
+// Memo makes the repeats nearly free) and builder calls between runs
+// take effect on the next run. It is not safe for concurrent mutation.
+type Query struct {
+	space       []*ExploreConfig
+	measure     func(*ExploreConfig) (Metrics, error)
+	workload    string // memo namespace contributed by Workload
+	namespace   string // caller-supplied extra namespace
+	constraints []ExploreConstraint
+	metric      Metric
+	workers     int
+	prune       bool
+	memo        *ExploreMemo
+	progress    func(done, total int)
+	err         error
+}
+
+// NewQuery starts a query over a configuration space (from Fig6Space,
+// Fig5Space, CrossAppSpace, or hand-built ExploreConfigs). Give it a
+// measurement source (Workload, Measure or MeasureScalar) before
+// running.
+func NewQuery(space []*ExploreConfig) *Query { return &Query{space: space} }
+
+// Workload measures every configuration by running w on it (each
+// configuration is materialized into an image with the TCB libraries in
+// the default compartment — see MeasureScenario). The workload's
+// identity also namespaces the memo: for library Scenarios the
+// namespace is "name/ops", so two scenarios — or one scenario at two
+// op counts — never collide in a shared Memo, whatever Namespace the
+// caller adds.
+func (q *Query) Workload(w Workload) *Query {
+	if w == nil {
+		q.err = errors.New("flexos: Query.Workload called with a nil workload")
+		return q
+	}
+	q.measure = MeasureScenario(w)
+	if mk, ok := w.(interface{ MemoKey() string }); ok {
+		q.workload = mk.MemoKey()
+	} else {
+		q.workload = w.Name()
+	}
+	return q
+}
+
+// Measure sets a custom multi-metric measure function. It must be
+// deterministic and, when Workers != 1, safe for concurrent use. When
+// sharing a Memo across different measure functions, namespace them
+// apart with Namespace.
+func (q *Query) Measure(fn func(*ExploreConfig) (Metrics, error)) *Query {
+	q.measure = fn
+	q.workload = ""
+	return q
+}
+
+// MeasureScalar sets a scalar (higher-is-better) measure function;
+// only the throughput dimension of each vector is populated.
+func (q *Query) MeasureScalar(fn func(*ExploreConfig) (float64, error)) *Query {
+	if fn == nil {
+		q.measure = nil
+		return q
+	}
+	return q.Measure(func(c *ExploreConfig) (Metrics, error) {
+		v, err := fn(c)
+		if err != nil {
+			return Metrics{}, err
+		}
+		return Metrics{Throughput: v}, nil
+	})
+}
+
+// Constrain adds one feasibility bound: the metric's value must satisfy
+// `value op bound`. Call it repeatedly to intersect constraints, e.g. a
+// throughput floor AND a p99 ceiling AND a memory ceiling. Constraints
+// in their natural direction (AtLeast on rates, AtMost on costs) also
+// drive monotonic pruning; unnatural ones only filter.
+func (q *Query) Constrain(m Metric, op ConstraintOp, bound float64) *Query {
+	q.constraints = append(q.constraints, ExploreConstraint{Metric: m, Op: op, Bound: bound})
+	return q
+}
+
+// Floor is Constrain(m, AtLeast, bound).
+func (q *Query) Floor(m Metric, bound float64) *Query { return q.Constrain(m, AtLeast, bound) }
+
+// Ceiling is Constrain(m, AtMost, bound).
+func (q *Query) Ceiling(m Metric, bound float64) *Query { return q.Constrain(m, AtMost, bound) }
+
+// RankBy sets the ranking metric — the dimension Measurement.Perf and
+// the DOT shading report. Default: the first constraint's metric, or
+// throughput when unconstrained.
+func (q *Query) RankBy(m Metric) *Query {
+	q.metric = m
+	return q
+}
+
+// Workers sets the number of concurrent measurement goroutines
+// (<= 0: GOMAXPROCS). Results are byte-identical for every value.
+func (q *Query) Workers(n int) *Query {
+	q.workers = n
+	return q
+}
+
+// Prune toggles poset-aware monotonic pruning (§5): skip a
+// configuration when a strictly-less-safe ancestor already violated a
+// monotone constraint.
+func (q *Query) Prune(on bool) *Query {
+	q.prune = on
+	return q
+}
+
+// Memo attaches a measurement cache shared across runs (see
+// NewExploreMemo). Results memoize under the workload's namespace plus
+// any Namespace the caller adds.
+func (q *Query) Memo(m *ExploreMemo) *Query {
+	q.memo = m
+	return q
+}
+
+// Namespace adds a caller-defined namespace component to the memo keys
+// (e.g. a request count baked into a custom measure function). It
+// composes with — never replaces — the Workload's own namespace.
+func (q *Query) Namespace(s string) *Query {
+	q.namespace = s
+	return q
+}
+
+// Progress installs a progress callback, invoked after each
+// configuration is decided (measured, memo-filled or pruned) with the
+// count decided so far and the space size. It runs on the coordinating
+// goroutine, never concurrently with itself.
+func (q *Query) Progress(fn func(done, total int)) *Query {
+	q.progress = fn
+	return q
+}
+
+// request snapshots the builder into an engine request.
+func (q *Query) request() (explore.Request, error) {
+	if q.err != nil {
+		return explore.Request{}, q.err
+	}
+	if q.measure == nil {
+		return explore.Request{}, errors.New("flexos: query has no measurement source; call Workload, Measure or MeasureScalar")
+	}
+	ns := q.namespace
+	if q.workload != "" {
+		if ns != "" {
+			ns += "|" + q.workload
+		} else {
+			ns = q.workload
+		}
+	}
+	return explore.Request{
+		Space:       q.space,
+		Measure:     q.measure,
+		Metric:      q.metric,
+		Constraints: append([]ExploreConstraint(nil), q.constraints...),
+		Workers:     q.workers,
+		Prune:       q.prune,
+		Memo:        q.memo,
+		Workload:    ns,
+		Progress:    q.progress,
+	}, nil
+}
+
+// Run executes the query under ctx and returns the full exploration
+// result. The error is nil on success; wraps ErrCanceled when ctx is
+// canceled or its deadline expires; wraps ErrNoFeasible when the run
+// completed but no configuration satisfied every constraint (the
+// Result is still returned, fully populated); or is a *MeasureError
+// when a measurement failed.
+func (q *Query) Run(ctx context.Context) (*ExploreResult, error) {
+	req, err := q.request()
+	if err != nil {
+		return nil, err
+	}
+	return explore.Engine{}.Run(ctx, req)
+}
+
+// Stream executes the query incrementally: it returns an iterator over
+// (configuration, metric vector) pairs — one per evaluated
+// configuration, yielded as soon as the engine decides it — plus a
+// final function that reports the complete *ExploreResult (and error)
+// once iteration has finished.
+//
+//	stream, final := q.Stream(ctx)
+//	for cfg, m := range stream {
+//		fmt.Printf("%s: %s\n", cfg.Label(), m)
+//	}
+//	res, err := final()
+//
+// Pairs are yielded in input order regardless of worker count — the
+// stream holds back out-of-order completions until every earlier
+// configuration is decided — so streamed output is byte-identical for
+// any Workers value, at the cost of bounded buffering. Pruned
+// configurations carry no vector and are not yielded.
+//
+// The iterator is single-use. Breaking out of the loop cancels the
+// remaining exploration; final then reports ErrCanceled. Calling final
+// without having consumed the iterator runs the exploration to
+// completion first (no pairs are yielded), so final never blocks on an
+// unconsumed stream.
+func (q *Query) Stream(ctx context.Context) (iter.Seq2[*ExploreConfig, Metrics], func() (*ExploreResult, error)) {
+	var (
+		res *ExploreResult
+		err error
+		ran bool
+	)
+	run := func(yield func(*ExploreConfig, Metrics) bool) {
+		ran = true
+		req, rerr := q.request()
+		if rerr != nil {
+			err = rerr
+			return
+		}
+		sctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		n := len(req.Space)
+		var (
+			buf     = make([]ExploreMeasurement, n)
+			decided = make([]bool, n)
+			next    int
+			stopped bool
+		)
+		req.Observe = func(idx int, m ExploreMeasurement) {
+			buf[idx] = m
+			decided[idx] = true
+			// Release the longest decided prefix, in input order.
+			for next < n && decided[next] {
+				m := buf[next]
+				next++
+				if m.Evaluated && !stopped && !yield(m.Config, m.Metrics) {
+					stopped = true
+					cancel() // consumer broke out: wind the engine down
+				}
+			}
+		}
+		res, err = explore.Engine{}.Run(sctx, req)
+	}
+	seq := iter.Seq2[*ExploreConfig, Metrics](run)
+	final := func() (*ExploreResult, error) {
+		if !ran {
+			run(func(*ExploreConfig, Metrics) bool { return true })
+		}
+		return res, err
+	}
+	return seq, final
+}
+
+// compatResult restores the legacy contract of the deprecated Explore*
+// wrappers: an infeasible-but-complete run is not an error, just an
+// empty Safest set.
+func compatResult(res *ExploreResult, err error) (*ExploreResult, error) {
+	if errors.Is(err, ErrNoFeasible) {
+		return res, nil
+	}
+	return res, err
+}
