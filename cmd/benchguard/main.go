@@ -53,15 +53,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ref, ok := nsop[reference]
-	if !ok || ref <= 0 {
-		fatal(fmt.Errorf("reference %s missing from benchmark output", reference))
-	}
-	ratios := map[string]float64{}
-	for name, v := range nsop {
-		if name != reference {
-			ratios[name] = v / ref
-		}
+	ratios, ref, err := computeRatios(nsop, *pattern)
+	if err != nil {
+		fatal(err)
 	}
 
 	if *update {
@@ -104,9 +98,54 @@ func main() {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "  "+f)
 		}
+		// Repeat the whole normalized table on stderr so a CI failure
+		// log carries the full picture, not just the regressed rows.
+		fmt.Fprint(os.Stderr, normalizedTable(ratios, want))
 		os.Exit(1)
 	}
 	fmt.Println("benchguard: PASS")
+}
+
+// computeRatios normalizes every guarded benchmark to the sequential
+// reference measured in the same run. A pattern that matched nothing
+// beyond the reference is an error — most often a stale pattern after
+// a benchmark rename — because pinning (or passing) an empty baseline
+// would disable the regression gate while reporting success.
+func computeRatios(nsop map[string]float64, pattern string) (map[string]float64, float64, error) {
+	ref, ok := nsop[reference]
+	if !ok || ref <= 0 {
+		return nil, 0, fmt.Errorf("reference %s missing from benchmark output", reference)
+	}
+	ratios := map[string]float64{}
+	for name, v := range nsop {
+		if name != reference {
+			ratios[name] = v / ref
+		}
+	}
+	if len(ratios) == 0 {
+		return nil, 0, fmt.Errorf("pattern %q matched no benchmark beyond the reference %s: nothing to guard (stale -bench pattern?)", pattern, reference)
+	}
+	return ratios, ref, nil
+}
+
+// normalizedTable renders every measured ratio next to its baseline,
+// sorted by name, for the failure log.
+func normalizedTable(ratios, want map[string]float64) string {
+	names := make([]string, 0, len(ratios))
+	for name := range ratios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("  normalized table (ns/op ratio to " + reference + "):\n")
+	for _, name := range names {
+		base := "none"
+		if v, ok := want[name]; ok {
+			base = fmt.Sprintf("%.3f", v)
+		}
+		fmt.Fprintf(&b, "  %-34s ratio %.3f baseline %s\n", name, ratios[name], base)
+	}
+	return b.String()
 }
 
 // runBenchmarks executes the benchmark suite count times and parses

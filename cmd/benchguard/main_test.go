@@ -1,0 +1,91 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestComputeRatios(t *testing.T) {
+	ratios, ref, err := computeRatios(map[string]float64{
+		reference:            100,
+		"BenchmarkQueryFast": 50,
+		"BenchmarkQuerySlow": 250,
+	}, "^BenchmarkQuery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref != 100 {
+		t.Fatalf("reference = %v, want 100", ref)
+	}
+	if got := ratios["BenchmarkQueryFast"]; got != 0.5 {
+		t.Errorf("fast ratio = %v, want 0.5", got)
+	}
+	if got := ratios["BenchmarkQuerySlow"]; got != 2.5 {
+		t.Errorf("slow ratio = %v, want 2.5", got)
+	}
+	if _, ok := ratios[reference]; ok {
+		t.Error("reference must not appear among the guarded ratios")
+	}
+}
+
+func TestComputeRatiosMissingReference(t *testing.T) {
+	_, _, err := computeRatios(map[string]float64{"BenchmarkQueryFast": 50}, "^BenchmarkQuery")
+	if err == nil || !strings.Contains(err.Error(), reference) {
+		t.Fatalf("want missing-reference error naming %s, got %v", reference, err)
+	}
+}
+
+// A pattern that matches only the reference — the shape of a stale
+// pattern after a benchmark rename — must be an error, not a silently
+// empty (and therefore always-green) baseline.
+func TestComputeRatiosZeroGuarded(t *testing.T) {
+	_, _, err := computeRatios(map[string]float64{reference: 100}, "^BenchmarkQueryGone")
+	if err == nil {
+		t.Fatal("want error when the pattern guards no benchmarks, got nil")
+	}
+	if !strings.Contains(err.Error(), "nothing to guard") {
+		t.Fatalf("error should say nothing is guarded, got: %v", err)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.txt")
+	ratios := map[string]float64{
+		"BenchmarkQueryA": 1.25,
+		"BenchmarkQueryB": 0.5,
+	}
+	nsop := map[string]float64{
+		"BenchmarkQueryA": 125,
+		"BenchmarkQueryB": 50,
+		reference:         100,
+	}
+	if err := writeBaseline(path, ratios, nsop, 100); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ratios) {
+		t.Fatalf("read %d entries, want %d", len(got), len(ratios))
+	}
+	for name, want := range ratios {
+		if got[name] != want {
+			t.Errorf("%s = %v, want %v", name, got[name], want)
+		}
+	}
+}
+
+func TestNormalizedTableListsEveryBenchmark(t *testing.T) {
+	out := normalizedTable(
+		map[string]float64{"BenchmarkQueryA": 1.2, "BenchmarkQueryNew": 0.9},
+		map[string]float64{"BenchmarkQueryA": 1.0},
+	)
+	if !strings.Contains(out, "BenchmarkQueryA") || !strings.Contains(out, "BenchmarkQueryNew") {
+		t.Fatalf("table missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "baseline none") {
+		t.Fatalf("unpinned benchmark should render baseline none:\n%s", out)
+	}
+}

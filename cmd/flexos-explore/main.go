@@ -21,6 +21,18 @@
 // constrain any dimension, and -pareto prints the safety × throughput ×
 // memory frontier.
 //
+// -cache attaches a persistent result store to the run: measurements
+// load from the directory when present and write through to it when
+// fresh, so a rerun measures only configurations the store has never
+// seen. -cache-readonly freezes the store (load, never write). The
+// deterministic report goes to stdout and the run statistics
+// (evaluated / cache hits / pruned, the cache hit rate) to stderr, so
+// cold and warm runs print byte-identical stdout. -shard i/n explores
+// the i-th of n deterministic slices of the space (typically each into
+// its own -cache directory; merge them with flexos-merge), and
+// -space-hash prints the exploration-space hash — the natural CI cache
+// key for the store directory — without running anything.
+//
 // Usage:
 //
 //	flexos-explore -app redis -budget 500000
@@ -30,6 +42,9 @@
 //	flexos-explore -scenario nginx-keep75 -metric p99 -budget 3
 //	flexos-explore -scenario redis-pipe4 -budget "throughput>=200000" -budget "p99<=40" -budget "mem<=400000"
 //	flexos-explore -app cross -timeout 30s -stream
+//	flexos-explore -app redis -cache .explore-cache
+//	flexos-explore -app cross -shard 2/4 -cache shards/2
+//	flexos-explore -app redis -space-hash
 //	flexos-explore -list
 package main
 
@@ -39,26 +54,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
-	"strconv"
 
 	"flexos"
+	"flexos/internal/cli"
 )
-
-// budgetFlags collects repeated -budget occurrences.
-type budgetFlags []string
-
-func (b *budgetFlags) String() string { return fmt.Sprint([]string(*b)) }
-func (b *budgetFlags) Set(s string) error {
-	*b = append(*b, s)
-	return nil
-}
 
 func main() {
 	app := flag.String("app", "redis", "space to explore: redis | nginx | cross (both apps x {mpk, ept})")
 	scenarioName := flag.String("scenario", "", "explore under a multi-metric scenario workload instead of -app (see -list)")
 	metricName := flag.String("metric", "throughput", "ranking metric, and the dimension plain-number -budget values bound: throughput | p50 | p99 | maxlat | mem | boot")
-	var budgets budgetFlags
+	var budgets cli.BudgetFlags
 	flag.Var(&budgets, "budget", "budget constraint; repeatable. Either a plain bound on -metric (natural direction) or metric>=bound / metric<=bound (default: 500000 on -metric)")
 	timeout := flag.Duration("timeout", 0, "abort the exploration after this duration (0: no deadline)")
 	pareto := flag.Bool("pareto", false, "print the safety x throughput x memory Pareto frontier (implies -exhaustive)")
@@ -69,6 +74,10 @@ func main() {
 	progress := flag.Bool("progress", false, "report exploration progress on stderr")
 	stream := flag.Bool("stream", false, "print each configuration as soon as it is measured (deterministic input order)")
 	exhaustive := flag.Bool("exhaustive", false, "measure every configuration (disable monotonic pruning)")
+	cacheDir := flag.String("cache", "", "persistent result-store directory: load measurements from it, write fresh ones through to it")
+	cacheRO := flag.Bool("cache-readonly", false, "open -cache read-only: load from the store, never write to it")
+	shardSpec := flag.String("shard", "", "explore one deterministic slice of the space, as index/count (e.g. 0/4)")
+	spaceHash := flag.Bool("space-hash", false, "print the exploration-space hash (the store cache key) and exit without measuring")
 	verbose := flag.Bool("v", false, "print every measured configuration after the run")
 	dotPath := flag.String("dot", "", "write the labeled safety poset as a Graphviz file (Fig. 8 visual)")
 	flag.Parse()
@@ -89,7 +98,7 @@ func main() {
 	if err != nil {
 		fatal(2, err)
 	}
-	constraints, err := parseBudgets(budgets, metric)
+	constraints, err := cli.ParseBudgets(budgets, metric)
 	if err != nil {
 		fatal(2, err)
 	}
@@ -102,49 +111,42 @@ func main() {
 	}
 
 	// Assemble the query: the space and its measurement source.
-	var (
-		q     *flexos.Query
-		title string
-	)
-	if *scenarioName != "" {
-		sc, ok := flexos.ScenarioByName(*scenarioName)
-		if !ok {
-			fatal(2, fmt.Errorf("unknown scenario %q (try -list)", *scenarioName))
-		}
-		if *ops > 0 {
-			sc = sc.WithOps(*ops)
-		}
-		quad, ok := sc.Quad()
-		if !ok {
-			fatal(2, fmt.Errorf("scenario %q has no four-component space", sc.Name()))
-		}
-		q = flexos.NewQuery(flexos.Fig6Space(quad)).Workload(sc)
-		title = sc.Name()
-	} else {
-		// The scalar -app benchmarks measure only throughput: a frontier
-		// over the latency/memory axes, a non-throughput ranking, or a
-		// constraint on an unmeasured dimension all need the full
-		// vectors of a scenario run.
-		if *pareto {
-			fatal(2, errors.New("-pareto requires -scenario (only scenario workloads measure the memory axis)"))
-		}
-		if metric != flexos.MetricThroughput {
-			fatal(2, fmt.Errorf("-metric %s requires -scenario (the -app benchmarks measure only throughput)", metric))
-		}
-		for _, c := range constraints {
-			if c.Metric != flexos.MetricThroughput {
-				fatal(2, fmt.Errorf("constraint %s requires -scenario (the -app benchmarks measure only throughput)", c))
-			}
-		}
-		var err error
-		if q, title, err = appQuery(*app, *requests); err != nil {
-			fatal(2, err)
-		}
+	sel := cli.Selection{App: *app, Scenario: *scenarioName, Requests: *requests, Ops: *ops}
+	q, title, scenarioMode, err := sel.Build()
+	if err != nil {
+		fatal(2, err)
+	}
+	if err := cli.ValidateScalar(scenarioMode, metric, constraints, *pareto); err != nil {
+		fatal(2, err)
+	}
+	if *spaceHash {
+		fmt.Println(q.SpaceHash())
+		return
 	}
 	for _, c := range constraints {
 		q.Constrain(c.Metric, c.Op, c.Bound)
 	}
 	q.RankBy(metric).Workers(*workers).Prune(!*exhaustive && !*pareto)
+	if *shardSpec != "" {
+		sh, err := flexos.ParseShard(*shardSpec)
+		if err != nil {
+			fatal(2, err)
+		}
+		q.Shard(sh.Index, sh.Count)
+		// 0/1 is the whole space: its report matches an unsharded run.
+		if s := sh.String(); s != "" {
+			title = fmt.Sprintf("%s[shard %s]", title, s)
+		}
+	}
+	if *cacheDir != "" {
+		if *cacheRO {
+			q.CacheReadOnly(*cacheDir)
+		} else {
+			q.Cache(*cacheDir)
+		}
+	} else if *cacheRO {
+		fatal(2, errors.New("-cache-readonly requires -cache"))
+	}
 	if *progress {
 		q.Progress(progressBar)
 	}
@@ -156,7 +158,7 @@ func main() {
 	if *stream {
 		seq, final := q.Stream(ctx)
 		for cfg, m := range seq {
-			if *scenarioName != "" {
+			if scenarioMode {
 				fmt.Printf("measured %-55s %s\n", cfg.Label(), m)
 			} else {
 				fmt.Printf("measured %-55s %9.1fk req/s\n", cfg.Label(), m.Throughput/1000)
@@ -178,147 +180,17 @@ func main() {
 	}
 
 	if *verbose {
-		printAll(res)
+		cli.PrintAll(os.Stdout, res)
 	}
 	writeDOT(*dotPath, res, title)
-	if *pareto {
-		printPareto(res)
-	}
-
-	fmt.Printf("%s: explored %d/%d configurations under %d constraint(s)%s\n",
-		title, res.Evaluated, res.Total, len(constraints), constraintList(constraints))
-	if noFeasible {
-		fmt.Println("no configuration satisfies every constraint")
-		return
-	}
-	fmt.Printf("safest configurations satisfying every constraint: %d\n", len(res.Safest))
-	for _, i := range res.Safest {
-		m := res.Measurements[i]
-		if *scenarioName != "" {
-			fmt.Printf("  * %-55s %s\n", m.Config.Label(), m.Metrics)
-		} else {
-			fmt.Printf("  * %-55s %9.1fk req/s\n", m.Config.Label(), m.Perf/1000)
-		}
-	}
-}
-
-// appQuery builds the single-metric benchmark query for -app spaces.
-func appQuery(app string, requests int) (*flexos.Query, string, error) {
-	measureRedis := func(c *flexos.ExploreConfig) (float64, error) {
-		res, err := flexos.BenchmarkRedis(c.Spec(flexos.TCBLibs()), requests)
-		if err != nil {
-			return 0, err
-		}
-		return res.ReqPerSec, nil
-	}
-	measureNginx := func(c *flexos.ExploreConfig) (float64, error) {
-		res, err := flexos.BenchmarkNginx(c.Spec(flexos.TCBLibs()), requests)
-		if err != nil {
-			return 0, err
-		}
-		return res.ReqPerSec, nil
-	}
-	switch app {
-	case "redis":
-		return flexos.NewQuery(flexos.Fig6Space(flexos.RedisComponents())).
-			MeasureScalar(measureRedis).Namespace(fmt.Sprintf("redis/%d", requests)), app, nil
-	case "nginx":
-		return flexos.NewQuery(flexos.Fig6Space(flexos.NginxComponents())).
-			MeasureScalar(measureNginx).Namespace(fmt.Sprintf("nginx/%d", requests)), app, nil
-	case "cross":
-		cfgs := flexos.CrossAppSpace(nil, flexos.RedisComponents(), flexos.NginxComponents())
-		// Dispatch on the application the configuration contains; the
-		// two sub-spaces are incomparable and explore independently.
-		measure := func(c *flexos.ExploreConfig) (float64, error) {
-			for _, comp := range c.Components() {
-				switch comp {
-				case flexos.LibRedis:
-					return measureRedis(c)
-				case flexos.LibNginx:
-					return measureNginx(c)
-				}
-			}
-			return 0, fmt.Errorf("config %d contains no known application", c.ID)
-		}
-		return flexos.NewQuery(cfgs).MeasureScalar(measure).
-			Namespace(fmt.Sprintf("cross/%d", requests)), app, nil
-	}
-	return nil, "", fmt.Errorf("unknown app %q", app)
-}
-
-// parseBudgets turns the repeated -budget values into constraints. A
-// plain number bounds the default metric in its natural direction; the
-// full syntax names its own metric and direction. No -budget at all
-// keeps the historical default of 500000 on the chosen metric.
-func parseBudgets(budgets []string, metric flexos.Metric) ([]flexos.ExploreConstraint, error) {
-	if len(budgets) == 0 {
-		budgets = []string{"500000"}
-	}
-	out := make([]flexos.ExploreConstraint, 0, len(budgets))
-	for _, s := range budgets {
-		if v, err := strconv.ParseFloat(s, 64); err == nil {
-			out = append(out, flexos.ExploreConstraint{Metric: metric, Op: flexos.NaturalOp(metric), Bound: v})
-			continue
-		}
-		c, err := flexos.ParseConstraint(s)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, c)
-	}
-	return out, nil
-}
-
-func constraintList(cs []flexos.ExploreConstraint) string {
-	s := ""
-	for i, c := range cs {
-		if i == 0 {
-			s = ": "
-		} else {
-			s += ", "
-		}
-		s += c.String()
-	}
-	return s
+	cli.PrintReport(os.Stdout, title, res, constraints, scenarioMode, *pareto, noFeasible)
+	cli.PrintStats(os.Stderr, "flexos-explore", res)
 }
 
 func progressBar(done, total int) {
 	fmt.Fprintf(os.Stderr, "\rexplored %d/%d configurations", done, total)
 	if done == total {
 		fmt.Fprintln(os.Stderr)
-	}
-}
-
-func printAll(res *flexos.ExploreResult) {
-	sorted := make([]int, 0, len(res.Measurements))
-	for i := range res.Measurements {
-		sorted = append(sorted, i)
-	}
-	sort.Slice(sorted, func(a, b int) bool {
-		if res.Measurements[sorted[a]].Perf != res.Measurements[sorted[b]].Perf {
-			return res.Measurements[sorted[a]].Perf < res.Measurements[sorted[b]].Perf
-		}
-		return sorted[a] < sorted[b]
-	})
-	for _, i := range sorted {
-		m := res.Measurements[i]
-		state := "measured"
-		if m.Pruned {
-			state = "pruned"
-		} else if m.Cached {
-			state = "cached"
-		}
-		fmt.Printf("%-9s %12.1f  %s\n", state, m.Perf, m.Config.Label())
-	}
-	fmt.Println("---")
-}
-
-func printPareto(res *flexos.ExploreResult) {
-	front := res.ParetoFront()
-	fmt.Printf("Pareto frontier (safety x throughput x memory): %d configurations\n", len(front))
-	for _, i := range front {
-		m := res.Measurements[i]
-		fmt.Printf("  - %-55s %s\n", m.Config.Label(), m.Metrics)
 	}
 }
 

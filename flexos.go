@@ -45,6 +45,7 @@ import (
 	"flexos/internal/oslib"
 	"flexos/internal/ramfs"
 	"flexos/internal/scenario"
+	"flexos/internal/store"
 	"flexos/internal/timesys"
 	"flexos/internal/vfs"
 
@@ -110,6 +111,11 @@ type (
 	// MeasureError is the typed error a failed measurement surfaces,
 	// carrying the failing configuration's ID, canonical key and label.
 	MeasureError = explore.MeasureError
+	// ExploreShard selects one deterministic slice of a configuration
+	// space for distributed exploration (see Query.Shard): the Index-th
+	// of Count order-preserving, pairwise-disjoint contiguous
+	// partitions of the canonical enumeration.
+	ExploreShard = explore.Shard
 	// Metrics is the multi-metric vector one workload run produces:
 	// throughput, p50/p99/max latency, peak simulated memory, boot
 	// cycles.
@@ -161,6 +167,22 @@ func ParseConstraint(s string) (ExploreConstraint, error) { return explore.Parse
 // uses: a floor (AtLeast) for higher-is-better metrics, a ceiling
 // (AtMost) otherwise.
 func NaturalOp(m Metric) ConstraintOp { return explore.NaturalOp(m) }
+
+// ParseShard parses the CLI shard syntax "index/count" with
+// 0 <= index < count (e.g. "0/4") into a Query.Shard selection.
+func ParseShard(s string) (ExploreShard, error) { return explore.ParseShard(s) }
+
+// MergeStores merges N result-store directories (typically one per
+// exploration shard, written via Query.Cache) into a fresh store at
+// outDir, validating that the inputs are disjoint — an identical
+// duplicate (canonical twins across shards) is deduplicated, a
+// conflicting one aborts the merge. The merged store is written in
+// sorted key order, so its bytes are identical however the space was
+// sharded. It returns the number of unique records written.
+func MergeStores(outDir string, inDirs ...string) (int, error) {
+	st, err := store.Merge(outDir, inDirs...)
+	return st.Records, err
+}
 
 // Gate flavors and sharing strategies.
 const (

@@ -1,0 +1,251 @@
+// Package cli holds the exploration plumbing the command-line tools
+// share: assembling a flexos.Query from the common -app / -scenario
+// selection flags, parsing repeated -budget constraints, and printing
+// the exploration report.
+//
+// The report printer is deliberately split in two: PrintReport writes
+// the deterministic result — title, constraint list, safest set,
+// optional Pareto frontier — and nothing else, while PrintStats writes
+// the run statistics (evaluated / cache hits / pruned) that legally
+// differ between a cold and a warm run. flexos-explore sends the
+// former to stdout and the latter to stderr, which is what lets CI
+// assert that a warm rerun, a sharded-and-merged run and a cold run
+// produce byte-identical stdout while still reading the cache hit
+// rate off stderr.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"flexos"
+)
+
+// Selection is the space/workload choice the tools share: either a
+// scalar -app benchmark space or a multi-metric -scenario workload.
+type Selection struct {
+	// App selects a scalar benchmark space: redis | nginx | cross.
+	App string
+	// Scenario, when non-empty, selects a workload of the scenario
+	// library instead of App.
+	Scenario string
+	// Requests is the per-measurement request count for App spaces.
+	Requests int
+	// Ops overrides the scenario's default op count when > 0.
+	Ops int
+}
+
+// Build assembles the query for the selection. It returns the query,
+// the report title, and whether the query measures full metric
+// vectors (scenario mode) rather than throughput only.
+func (s Selection) Build() (q *flexos.Query, title string, scenarioMode bool, err error) {
+	if s.Scenario != "" {
+		sc, ok := flexos.ScenarioByName(s.Scenario)
+		if !ok {
+			return nil, "", false, fmt.Errorf("unknown scenario %q (try -list)", s.Scenario)
+		}
+		if s.Ops > 0 {
+			sc = sc.WithOps(s.Ops)
+		}
+		quad, ok := sc.Quad()
+		if !ok {
+			return nil, "", false, fmt.Errorf("scenario %q has no four-component space", sc.Name())
+		}
+		return flexos.NewQuery(flexos.Fig6Space(quad)).Workload(sc), sc.Name(), true, nil
+	}
+
+	measureRedis := func(c *flexos.ExploreConfig) (float64, error) {
+		res, err := flexos.BenchmarkRedis(c.Spec(flexos.TCBLibs()), s.Requests)
+		if err != nil {
+			return 0, err
+		}
+		return res.ReqPerSec, nil
+	}
+	measureNginx := func(c *flexos.ExploreConfig) (float64, error) {
+		res, err := flexos.BenchmarkNginx(c.Spec(flexos.TCBLibs()), s.Requests)
+		if err != nil {
+			return 0, err
+		}
+		return res.ReqPerSec, nil
+	}
+	switch s.App {
+	case "redis":
+		return flexos.NewQuery(flexos.Fig6Space(flexos.RedisComponents())).
+			MeasureScalar(measureRedis).Namespace(fmt.Sprintf("redis/%d", s.Requests)), s.App, false, nil
+	case "nginx":
+		return flexos.NewQuery(flexos.Fig6Space(flexos.NginxComponents())).
+			MeasureScalar(measureNginx).Namespace(fmt.Sprintf("nginx/%d", s.Requests)), s.App, false, nil
+	case "cross":
+		cfgs := flexos.CrossAppSpace(nil, flexos.RedisComponents(), flexos.NginxComponents())
+		// Dispatch on the application the configuration contains; the
+		// two sub-spaces are incomparable and explore independently.
+		measure := func(c *flexos.ExploreConfig) (float64, error) {
+			for _, comp := range c.Components() {
+				switch comp {
+				case flexos.LibRedis:
+					return measureRedis(c)
+				case flexos.LibNginx:
+					return measureNginx(c)
+				}
+			}
+			return 0, fmt.Errorf("config %d contains no known application", c.ID)
+		}
+		return flexos.NewQuery(cfgs).MeasureScalar(measure).
+			Namespace(fmt.Sprintf("cross/%d", s.Requests)), s.App, false, nil
+	}
+	return nil, "", false, fmt.Errorf("unknown app %q", s.App)
+}
+
+// ParseBudgets turns repeated -budget values into constraints. A plain
+// number bounds the default metric in its natural direction; the full
+// syntax ("p99<=2.5") names its own metric and direction. No -budget
+// at all keeps the historical default of 500000 on the chosen metric.
+func ParseBudgets(budgets []string, metric flexos.Metric) ([]flexos.ExploreConstraint, error) {
+	if len(budgets) == 0 {
+		budgets = []string{"500000"}
+	}
+	out := make([]flexos.ExploreConstraint, 0, len(budgets))
+	for _, s := range budgets {
+		if v, err := strconv.ParseFloat(s, 64); err == nil {
+			out = append(out, flexos.ExploreConstraint{Metric: metric, Op: flexos.NaturalOp(metric), Bound: v})
+			continue
+		}
+		c, err := flexos.ParseConstraint(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// ValidateScalar rejects option combinations a scalar -app space
+// cannot serve: the -app benchmarks measure only throughput, so a
+// frontier over the latency/memory axes, a non-throughput ranking, or
+// a constraint on an unmeasured dimension all need a -scenario run.
+func ValidateScalar(scenarioMode bool, metric flexos.Metric, constraints []flexos.ExploreConstraint, pareto bool) error {
+	if scenarioMode {
+		return nil
+	}
+	if pareto {
+		return fmt.Errorf("-pareto requires -scenario (only scenario workloads measure the memory axis)")
+	}
+	if metric != flexos.MetricThroughput {
+		return fmt.Errorf("-metric %s requires -scenario (the -app benchmarks measure only throughput)", metric)
+	}
+	for _, c := range constraints {
+		if c.Metric != flexos.MetricThroughput {
+			return fmt.Errorf("constraint %s requires -scenario (the -app benchmarks measure only throughput)", c)
+		}
+	}
+	return nil
+}
+
+// ConstraintList renders the ": c1, c2" suffix of the report line.
+func ConstraintList(cs []flexos.ExploreConstraint) string {
+	s := ""
+	for i, c := range cs {
+		if i == 0 {
+			s = ": "
+		} else {
+			s += ", "
+		}
+		s += c.String()
+	}
+	return s
+}
+
+// PrintReport writes the deterministic exploration report: it depends
+// only on the space, the constraints and the (deterministic) measured
+// values — never on how many measurements were served from a cache —
+// so a cold run, a warm rerun and a sharded-then-merged run all print
+// byte-identical reports.
+func PrintReport(w io.Writer, title string, res *flexos.ExploreResult, constraints []flexos.ExploreConstraint, scenarioMode, pareto, noFeasible bool) {
+	if pareto {
+		front := res.ParetoFront()
+		fmt.Fprintf(w, "Pareto frontier (safety x throughput x memory): %d configurations\n", len(front))
+		for _, i := range front {
+			m := res.Measurements[i]
+			fmt.Fprintf(w, "  - %-55s %s\n", m.Config.Label(), m.Metrics)
+		}
+	}
+	fmt.Fprintf(w, "%s: explored %d configurations under %d constraint(s)%s\n",
+		title, res.Total, len(constraints), ConstraintList(constraints))
+	if noFeasible {
+		fmt.Fprintln(w, "no configuration satisfies every constraint")
+		return
+	}
+	fmt.Fprintf(w, "safest configurations satisfying every constraint: %d\n", len(res.Safest))
+	for _, i := range res.Safest {
+		m := res.Measurements[i]
+		if scenarioMode {
+			fmt.Fprintf(w, "  * %-55s %s\n", m.Config.Label(), m.Metrics)
+		} else {
+			fmt.Fprintf(w, "  * %-55s %9.1fk req/s\n", m.Config.Label(), m.Perf/1000)
+		}
+	}
+}
+
+// PrintStats writes the run statistics that legally differ between
+// cold, warm and sharded runs: fresh measurements, cache/memo hits,
+// pruned configurations, and the cache hit rate. flexos-explore sends
+// it to stderr so stdout stays byte-identical across cache states;
+// CI's warm-explore job parses the hit rate off it.
+func PrintStats(w io.Writer, prog string, res *flexos.ExploreResult) {
+	pruned := 0
+	for i := range res.Measurements {
+		if res.Measurements[i].Pruned {
+			pruned++
+		}
+	}
+	rate := 0.0
+	if res.Evaluated+res.MemoHits > 0 {
+		rate = 100 * float64(res.MemoHits) / float64(res.Evaluated+res.MemoHits)
+	}
+	shard := ""
+	if s := res.Shard.String(); s != "" {
+		shard = " shard " + s
+	}
+	fmt.Fprintf(w, "%s:%s evaluated %d, cache/memo hits %d, pruned %d (cache hit rate %.1f%%)\n",
+		prog, shard, res.Evaluated, res.MemoHits, pruned, rate)
+}
+
+// PrintAll lists every decided configuration by rank (the -v listing).
+// Like PrintReport it is deterministic across cache states: a value's
+// provenance (fresh run vs memo vs store) is a statistic, not a
+// result, so the listing distinguishes only measured from pruned and
+// the hit counts stay on PrintStats' stderr line.
+func PrintAll(w io.Writer, res *flexos.ExploreResult) {
+	sorted := make([]int, 0, len(res.Measurements))
+	for i := range res.Measurements {
+		sorted = append(sorted, i)
+	}
+	sort.Slice(sorted, func(a, b int) bool {
+		if res.Measurements[sorted[a]].Perf != res.Measurements[sorted[b]].Perf {
+			return res.Measurements[sorted[a]].Perf < res.Measurements[sorted[b]].Perf
+		}
+		return sorted[a] < sorted[b]
+	})
+	for _, i := range sorted {
+		m := res.Measurements[i]
+		state := "measured"
+		if m.Pruned {
+			state = "pruned"
+		}
+		fmt.Fprintf(w, "%-9s %12.1f  %s\n", state, m.Perf, m.Config.Label())
+	}
+	fmt.Fprintln(w, "---")
+}
+
+// BudgetFlags collects repeated -budget flag occurrences (flag.Value).
+type BudgetFlags []string
+
+func (b *BudgetFlags) String() string { return fmt.Sprint([]string(*b)) }
+
+// Set appends one -budget occurrence.
+func (b *BudgetFlags) Set(s string) error {
+	*b = append(*b, s)
+	return nil
+}

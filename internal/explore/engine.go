@@ -96,6 +96,15 @@ type Request struct {
 	// Workload namespaces memo keys (e.g. "redis-get90/240").
 	Workload string
 
+	// Shard, when non-zero, restricts the run to one deterministic
+	// slice of Space: the Index-th of Count order-preserving,
+	// non-overlapping contiguous partitions of the canonical
+	// enumeration (see Shard). The memo keys of the sharded run are
+	// exactly those the full run would use, which is what lets N shard
+	// runs populate N stores whose merge warm-starts the unsharded
+	// exploration.
+	Shard Shard
+
 	// Progress, when non-nil, is called after each configuration is
 	// decided with the number decided so far and the space size. Runs
 	// on the coordinating goroutine, never concurrently with itself.
@@ -103,11 +112,29 @@ type Request struct {
 
 	// Observe, when non-nil, is called on the coordinating goroutine
 	// after each configuration is decided, with the configuration's
-	// index in Space and its (final) Measurement — measured,
+	// index in the explored slice of Space (the whole Space when Shard
+	// is zero — with a shard, indices are relative to the shard's
+	// slice, like Result.Measurements) and its (final) Measurement — measured,
 	// memo-filled, inherited from a twin, or pruned. It is what
 	// Query.Stream builds on. Like Progress it never runs concurrently
 	// with itself and must not block indefinitely.
 	Observe func(idx int, m Measurement)
+}
+
+// Backing is the second tier of a Memo: a persistent result store
+// consulted when the in-memory tier misses, and written through after
+// every fresh measurement. Load returns the stored vector for a memo
+// key; Store records one. Both must be safe for concurrent use — they
+// are called from the worker pool. The package does not flush or close
+// a backing; its owner does (flush-on-close), which is how a Query
+// with a cache directory scopes the store to a run.
+//
+// A backing hit is indistinguishable from an in-memory hit to the
+// engine: results are byte-identical whether a run is cold, warm, or
+// mixed, at any worker count — only Result.MemoHits/Evaluated move.
+type Backing interface {
+	Load(key string) (Metrics, bool)
+	Store(key string, metrics Metrics)
 }
 
 // Memo is a concurrency-safe measurement cache keyed by canonical
@@ -115,9 +142,13 @@ type Request struct {
 // measurement in flight is joined rather than repeated, and failed
 // measurements are not cached (a later run retries them). Each entry
 // stores the full metric vector of the measurement.
+//
+// A Memo may carry a Backing — a persistent second tier (load-on-miss,
+// write-through on measure). See NewBackedMemo.
 type Memo struct {
 	mu      sync.Mutex
 	entries map[string]*memoEntry
+	backing Backing
 }
 
 type memoEntry struct {
@@ -129,6 +160,15 @@ type memoEntry struct {
 // NewMemo returns an empty measurement cache.
 func NewMemo() *Memo { return &Memo{entries: make(map[string]*memoEntry)} }
 
+// NewBackedMemo returns a measurement cache whose misses fall through
+// to a persistent backing and whose fresh measurements write through
+// to it. A nil backing is equivalent to NewMemo.
+func NewBackedMemo(b Backing) *Memo {
+	m := NewMemo()
+	m.backing = b
+	return m
+}
+
 // Len returns the number of cached (or in-flight) measurements.
 func (m *Memo) Len() int {
 	m.mu.Lock()
@@ -138,7 +178,8 @@ func (m *Memo) Len() int {
 
 // do returns the cached vector for key or computes it with f, joining an
 // in-flight computation if one exists. hit reports whether the value
-// predates this call.
+// predates this call — an in-memory entry and a backing entry count
+// alike. A fresh computation writes through to the backing.
 func (m *Memo) do(key string, f func() (Metrics, error)) (mx Metrics, hit bool, err error) {
 	m.mu.Lock()
 	if e, ok := m.entries[key]; ok {
@@ -150,11 +191,25 @@ func (m *Memo) do(key string, f func() (Metrics, error)) (mx Metrics, hit bool, 
 	m.entries[key] = e
 	m.mu.Unlock()
 
+	// Both tiers are consulted outside the mutex: a backing may do
+	// I/O, and concurrent callers of the same key join on e.done
+	// rather than the lock, so the worker pool never serializes
+	// behind a lookup. The loaded value lands in the in-memory entry,
+	// so the backing is consulted once per key per memo.
+	if m.backing != nil {
+		if mx, ok := m.backing.Load(key); ok {
+			e.metrics = mx
+			close(e.done)
+			return mx, true, nil
+		}
+	}
 	e.metrics, e.err = f()
 	if e.err != nil {
 		m.mu.Lock()
 		delete(m.entries, key)
 		m.mu.Unlock()
+	} else if m.backing != nil {
+		m.backing.Store(key, e.metrics)
 	}
 	close(e.done)
 	return e.metrics, false, e.err
@@ -206,7 +261,10 @@ func (Engine) Run(ctx context.Context, req Request) (*Result, error) {
 			metric = scenario.MetricThroughput
 		}
 	}
-	cfgs := req.Space
+	cfgs, err := req.Shard.slice(req.Space)
+	if err != nil {
+		return nil, err
+	}
 	workers := req.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -221,6 +279,7 @@ func (Engine) Run(ctx context.Context, req Request) (*Result, error) {
 		Total:        len(cfgs),
 		Metric:       metric,
 		Constraints:  append([]Constraint(nil), req.Constraints...),
+		Shard:        req.Shard,
 		poset:        p,
 	}
 	// Budget echoes the ranking metric's bound for legacy consumers

@@ -87,6 +87,9 @@ type Result struct {
 	// is the ranking dimension Perf reports.
 	Budget float64
 	Metric Metric
+	// Shard echoes the space slice the run covered (zero: the whole
+	// space). Measurements and Total describe only that slice.
+	Shard Shard
 
 	poset *poset.Poset[*Config]
 }

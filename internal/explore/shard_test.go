@@ -1,0 +1,285 @@
+package explore
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestShardSliceProperties is the partition law: for every space size
+// and shard count, the shards are contiguous, order-preserving,
+// pairwise disjoint, balanced to within one element, and their
+// concatenation is exactly the full space.
+func TestShardSliceProperties(t *testing.T) {
+	for n := 0; n <= 13; n++ {
+		cfgs := Fig6Space([4]string{"app", "libc", "sched", "net"})[:n]
+		for count := 1; count <= 6; count++ {
+			var union []*Config
+			for idx := 0; idx < count; idx++ {
+				part, err := Shard{Index: idx, Count: count}.slice(cfgs)
+				if err != nil {
+					t.Fatalf("n=%d shard %d/%d: %v", n, idx, count, err)
+				}
+				if lo, hi := (Shard{Index: idx, Count: count}).bounds(n); hi-lo != len(part) {
+					t.Fatalf("n=%d shard %d/%d: bounds disagree with slice", n, idx, count)
+				}
+				if len(part) < n/count || len(part) > n/count+1 {
+					t.Fatalf("n=%d shard %d/%d: unbalanced size %d", n, idx, count, len(part))
+				}
+				union = append(union, part...)
+			}
+			if len(union) != n {
+				t.Fatalf("n=%d count=%d: union has %d configs", n, count, len(union))
+			}
+			for i := range union {
+				// Pointer identity: same element, same order — which also
+				// proves pairwise disjointness.
+				if union[i] != cfgs[i] {
+					t.Fatalf("n=%d count=%d: union out of order at %d", n, count, i)
+				}
+			}
+		}
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	cfgs := Fig6Space([4]string{"app", "libc", "sched", "net"})
+	for _, bad := range []Shard{{Index: -1, Count: 3}, {Index: 3, Count: 3}, {Index: 0, Count: -1}, {Index: 2, Count: 0}} {
+		if _, err := bad.slice(cfgs); err == nil {
+			t.Errorf("shard %+v: want error, got nil", bad)
+		}
+	}
+	for _, ok := range []Shard{{}, {Index: 0, Count: 1}, {Index: 4, Count: 5}} {
+		if _, err := ok.slice(cfgs); err != nil {
+			t.Errorf("shard %+v: %v", ok, err)
+		}
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Shard
+		ok   bool
+	}{
+		{"0/4", Shard{0, 4}, true},
+		{"3/4", Shard{3, 4}, true},
+		{"0/1", Shard{0, 1}, true},
+		{" 1 / 3 ", Shard{1, 3}, true},
+		{"4/4", Shard{}, false},
+		{"-1/4", Shard{}, false},
+		{"0/0", Shard{}, false},
+		{"2", Shard{}, false},
+		{"a/b", Shard{}, false},
+		{"", Shard{}, false},
+	} {
+		got, err := ParseShard(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseShard(%q): err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseShard(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestEngineShardMatchesManualSubslice: running the engine with a
+// Shard must be indistinguishable from running it over the slice by
+// hand.
+func TestEngineShardMatchesManualSubslice(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfgs := randomSpace(rng, 40)
+	measure := liftMeasure(monotoneMeasure(rng))
+	for count := 1; count <= 4; count++ {
+		for idx := 0; idx < count; idx++ {
+			sh := Shard{Index: idx, Count: count}
+			sharded, err := Engine{}.Run(context.Background(), Request{
+				Space: randomSpaceCopy(cfgs), Measure: measure, Prune: true, Workers: 3, Shard: sh,
+			})
+			if err != nil {
+				t.Fatalf("shard %v: %v", sh, err)
+			}
+			lo, hi := sh.bounds(len(cfgs))
+			manual, err := Engine{}.Run(context.Background(), Request{
+				Space: randomSpaceCopy(cfgs)[lo:hi], Measure: measure, Prune: true, Workers: 3,
+			})
+			if err != nil {
+				t.Fatalf("manual %v: %v", sh, err)
+			}
+			if sharded.Total != hi-lo || len(sharded.Measurements) != hi-lo {
+				t.Fatalf("shard %v: covered %d configs, want %d", sh, sharded.Total, hi-lo)
+			}
+			for i := range manual.Measurements {
+				a, b := sharded.Measurements[i], manual.Measurements[i]
+				if a.Perf != b.Perf || a.Evaluated != b.Evaluated || a.Pruned != b.Pruned {
+					t.Fatalf("shard %v: measurement %d diverges: %+v vs %+v", sh, i, a, b)
+				}
+			}
+			if !reflect.DeepEqual(sharded.Safest, manual.Safest) {
+				t.Fatalf("shard %v: safest %v, manual %v", sh, sharded.Safest, manual.Safest)
+			}
+		}
+	}
+}
+
+// mapBacking is an in-memory Backing double that counts traffic.
+type mapBacking struct {
+	mu     sync.Mutex
+	m      map[string]Metrics
+	loads  int
+	hits   int
+	stores int
+}
+
+func newMapBacking() *mapBacking { return &mapBacking{m: make(map[string]Metrics)} }
+
+func (b *mapBacking) Load(key string) (Metrics, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.loads++
+	m, ok := b.m[key]
+	if ok {
+		b.hits++
+	}
+	return m, ok
+}
+
+func (b *mapBacking) Store(key string, m Metrics) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stores++
+	b.m[key] = m
+}
+
+// TestBackedMemoLoadAndWriteThrough: a miss falls through to the
+// backing, a fresh measurement writes through, a backing hit counts as
+// a memo hit and is promoted so it is loaded once.
+func TestBackedMemoLoadAndWriteThrough(t *testing.T) {
+	b := newMapBacking()
+	memo := NewBackedMemo(b)
+	calls := 0
+	f := func() (Metrics, error) { calls++; return Metrics{Throughput: 42}, nil }
+
+	if _, hit, _ := memo.do("k", f); hit {
+		t.Fatal("first call must miss")
+	}
+	if calls != 1 || b.stores != 1 {
+		t.Fatalf("calls=%d stores=%d, want 1/1 (write-through)", calls, b.stores)
+	}
+	if _, hit, _ := memo.do("k", f); !hit {
+		t.Fatal("second call must hit the in-memory tier")
+	}
+	if calls != 1 || b.stores != 1 {
+		t.Fatalf("hit must not re-measure or re-store (calls=%d stores=%d)", calls, b.stores)
+	}
+
+	// A fresh memo over the same backing: warm from the second tier.
+	warm := NewBackedMemo(b)
+	mx, hit, err := warm.do("k", func() (Metrics, error) {
+		t.Fatal("warm hit must not measure")
+		return Metrics{}, nil
+	})
+	if err != nil || !hit || mx.Throughput != 42 {
+		t.Fatalf("warm: mx=%v hit=%v err=%v", mx, hit, err)
+	}
+	loadsAfterWarm := b.loads
+	if _, hit, _ := warm.do("k", f); !hit {
+		t.Fatal("promoted entry must hit in memory")
+	}
+	if b.loads != loadsAfterWarm {
+		t.Fatal("promoted entry must not consult the backing again")
+	}
+	if b.stores != 1 {
+		t.Fatalf("backing hits must not write back (stores=%d)", b.stores)
+	}
+}
+
+// TestShardedBackingsWarmStartFullRun is the tentpole property at the
+// engine level: explore every shard separately (each writing through
+// to a backing), merge the backings, and the full-space run over the
+// merged backing must be byte-identical to a cold full-space run while
+// measuring nothing fresh — for any shard count and worker count, with
+// pruning on.
+func TestShardedBackingsWarmStartFullRun(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfgs := randomSpace(rng, 50)
+		measure := liftMeasure(monotoneMeasure(rng))
+		budget := 99_000.0
+		req := func(space []*Config) Request {
+			return Request{
+				Space: space, Measure: measure, Prune: true, Workers: 4,
+				Constraints: []Constraint{BudgetConstraint("", budget)},
+			}
+		}
+
+		cold, err := Engine{}.Run(context.Background(), req(randomSpaceCopy(cfgs)))
+		if err != nil {
+			t.Fatalf("seed %d: cold: %v", seed, err)
+		}
+
+		for _, count := range []int{1, 2, 3, 5} {
+			merged := newMapBacking()
+			for idx := 0; idx < count; idx++ {
+				b := newMapBacking()
+				r := req(randomSpaceCopy(cfgs))
+				r.Shard = Shard{Index: idx, Count: count}
+				r.Memo = NewBackedMemo(b)
+				if _, err := (Engine{}).Run(context.Background(), r); err != nil {
+					t.Fatalf("seed %d shard %d/%d: %v", seed, idx, count, err)
+				}
+				for k, v := range b.m {
+					if prev, dup := merged.m[k]; dup && prev != v {
+						t.Fatalf("seed %d shard %d/%d: conflicting twin value for %q", seed, idx, count, k)
+					}
+					merged.m[k] = v
+				}
+			}
+
+			r := req(randomSpaceCopy(cfgs))
+			r.Memo = NewBackedMemo(merged)
+			warm, err := Engine{}.Run(context.Background(), r)
+			if err != nil {
+				t.Fatalf("seed %d count %d: warm: %v", seed, count, err)
+			}
+			if warm.Evaluated != 0 {
+				t.Fatalf("seed %d count %d: warm run measured %d fresh configs; the shard union must cover the full run", seed, count, warm.Evaluated)
+			}
+			if !reflect.DeepEqual(warm.Safest, cold.Safest) {
+				t.Fatalf("seed %d count %d: safest %v, cold %v", seed, count, warm.Safest, cold.Safest)
+			}
+			for i := range cold.Measurements {
+				a, b := warm.Measurements[i], cold.Measurements[i]
+				if a.Perf != b.Perf || a.Metrics != b.Metrics || a.Evaluated != b.Evaluated || a.Pruned != b.Pruned {
+					t.Fatalf("seed %d count %d: measurement %d diverges: %+v vs %+v", seed, count, i, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestSpaceHashIdentity: the hash is stable, namespace-sensitive and
+// space-sensitive, and indifferent to sharding (shards slice the space
+// after identity is taken).
+func TestSpaceHashIdentity(t *testing.T) {
+	a := Fig6Space([4]string{"app", "libc", "sched", "net"})
+	b := Fig6Space([4]string{"app2", "libc", "sched", "net"})
+	if SpaceHash("w", a) != SpaceHash("w", a) {
+		t.Fatal("hash not stable")
+	}
+	if SpaceHash("w", a) == SpaceHash("w2", a) {
+		t.Fatal("hash ignores the namespace")
+	}
+	if SpaceHash("w", a) == SpaceHash("w", b) {
+		t.Fatal("hash ignores the space")
+	}
+	if SpaceHash("w", a) == SpaceHash("w", a[:40]) {
+		t.Fatal("hash ignores the space length")
+	}
+	if len(SpaceHash("w", a)) != 16 {
+		t.Fatalf("hash %q: want 16 hex digits", SpaceHash("w", a))
+	}
+}

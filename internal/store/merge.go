@@ -1,0 +1,103 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"flexos/internal/scenario"
+)
+
+// MergeStats summarizes a Merge.
+type MergeStats struct {
+	// Inputs is the number of source stores read.
+	Inputs int
+	// Records is the number of unique measurements written.
+	Records int
+	// Overlaps counts keys present in more than one source with
+	// identical vectors (canonical twins across shard spaces — legal,
+	// deduplicated).
+	Overlaps int
+	// PerInput holds each source's record count, in argument order.
+	PerInput []int
+}
+
+// Merge combines the indexes of several stores (typically one per
+// exploration shard) into a fresh store at outDir.
+//
+// Disjointness is validated: a key held by two sources must carry the
+// byte-identical metrics vector in both — identical duplicates are
+// tolerated (distinct configurations can share a canonical identity)
+// and deduplicated, while a conflicting duplicate aborts the merge,
+// since it means the sources were produced by disagreeing measure
+// functions and neither value can be trusted.
+//
+// The merged store is deterministic: records are written to a single
+// segment in sorted key order, so merging the same logical union is
+// byte-identical however the work was sharded — 2 shards or 16, merged
+// in any argument order.
+//
+// outDir must not already contain a store (any seg-*.jsonl file): a
+// merge is a whole-output operation, never an append.
+func Merge(outDir string, inDirs ...string) (MergeStats, error) {
+	var st MergeStats
+	if len(inDirs) == 0 {
+		return st, fmt.Errorf("store: merge: no input stores")
+	}
+	if existing, err := filepath.Glob(filepath.Join(outDir, "seg-*.jsonl")); err != nil {
+		return st, fmt.Errorf("store: merge: %w", err)
+	} else if len(existing) > 0 {
+		return st, fmt.Errorf("store: merge: %s already contains a store (%d segment files); merge writes whole outputs only", outDir, len(existing))
+	}
+
+	type owner struct {
+		metrics scenario.Metrics
+		dir     string
+	}
+	seen := make(map[string]owner)
+	for _, dir := range inDirs {
+		in, err := OpenReadOnly(dir)
+		if err != nil {
+			return st, fmt.Errorf("store: merge: %w", err)
+		}
+		st.Inputs++
+		n := 0
+		for _, key := range in.Keys() {
+			m, _ := in.Load(key)
+			n++
+			prev, dup := seen[key]
+			if !dup {
+				seen[key] = owner{metrics: m, dir: dir}
+				continue
+			}
+			if prev.metrics != m {
+				return st, fmt.Errorf("store: merge: key %s (addr %s) conflicts between %s and %s: the shard stores were produced by disagreeing measurements",
+					key, Addr(key), prev.dir, dir)
+			}
+			st.Overlaps++
+		}
+		st.PerInput = append(st.PerInput, n)
+	}
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return st, fmt.Errorf("store: merge: %w", err)
+	}
+	out, err := Open(outDir)
+	if err != nil {
+		return st, fmt.Errorf("store: merge: %w", err)
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out.Store(k, seen[k].metrics)
+	}
+	st.Records = len(keys)
+	if err := out.Close(); err != nil {
+		return st, err
+	}
+	return st, nil
+}

@@ -1,0 +1,167 @@
+package store_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flexos/internal/store"
+)
+
+// fill writes the given key->throughput map into a fresh store at dir.
+func fill(t *testing.T, dir string, entries map[string]float64) {
+	t.Helper()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range entries {
+		s.Store(k, vec(v))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeDisjointUnion(t *testing.T) {
+	base := t.TempDir()
+	fill(t, filepath.Join(base, "a"), map[string]float64{"ns\x00k1": 1, "ns\x00k2": 2})
+	fill(t, filepath.Join(base, "b"), map[string]float64{"ns\x00k3": 3})
+	out := filepath.Join(base, "merged")
+
+	st, err := store.Merge(out, filepath.Join(base, "a"), filepath.Join(base, "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Inputs != 2 || st.Records != 3 || st.Overlaps != 0 {
+		t.Fatalf("merge stats: %+v", st)
+	}
+	m, err := store.OpenReadOnly(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for k, v := range map[string]float64{"ns\x00k1": 1, "ns\x00k2": 2, "ns\x00k3": 3} {
+		got, ok := m.Load(k)
+		if !ok || got != vec(v) {
+			t.Fatalf("merged store missing %q (ok=%v got=%+v)", k, ok, got)
+		}
+	}
+}
+
+func TestMergeIdenticalOverlapDeduplicates(t *testing.T) {
+	base := t.TempDir()
+	fill(t, filepath.Join(base, "a"), map[string]float64{"ns\x00twin": 5, "ns\x00a": 1})
+	fill(t, filepath.Join(base, "b"), map[string]float64{"ns\x00twin": 5, "ns\x00b": 2})
+
+	st, err := store.Merge(filepath.Join(base, "m"), filepath.Join(base, "a"), filepath.Join(base, "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 3 || st.Overlaps != 1 {
+		t.Fatalf("merge stats: %+v", st)
+	}
+}
+
+func TestMergeConflictingOverlapFails(t *testing.T) {
+	base := t.TempDir()
+	fill(t, filepath.Join(base, "a"), map[string]float64{"ns\x00k": 5})
+	fill(t, filepath.Join(base, "b"), map[string]float64{"ns\x00k": 6})
+
+	_, err := store.Merge(filepath.Join(base, "m"), filepath.Join(base, "a"), filepath.Join(base, "b"))
+	if err == nil || !strings.Contains(err.Error(), "conflict") {
+		t.Fatalf("want conflict error, got %v", err)
+	}
+}
+
+// TestMergeDeterministicAcrossShardCounts: merging the same logical
+// union must produce byte-identical store files however it was split —
+// 2 ways, 3 ways, or presented in reversed argument order.
+func TestMergeDeterministicAcrossShardCounts(t *testing.T) {
+	full := map[string]float64{}
+	for i := 0; i < 23; i++ {
+		full["ns\x00cfg"+string(rune('a'+i))] = float64(100 + 7*i)
+	}
+	split := func(base string, parts int) []string {
+		dirs := make([]string, parts)
+		chunks := make([]map[string]float64, parts)
+		for i := range chunks {
+			chunks[i] = map[string]float64{}
+			dirs[i] = filepath.Join(base, "s"+string(rune('0'+i)))
+		}
+		i := 0
+		for k, v := range full { // map order is random: shard assignment varies run to run
+			chunks[i%parts][k] = v
+			i++
+		}
+		for i, c := range chunks {
+			fill(t, dirs[i], c)
+		}
+		return dirs
+	}
+
+	segBytes := func(parts int, reverse bool) []byte {
+		base := t.TempDir()
+		dirs := split(base, parts)
+		if reverse {
+			for i, j := 0, len(dirs)-1; i < j; i, j = i+1, j-1 {
+				dirs[i], dirs[j] = dirs[j], dirs[i]
+			}
+		}
+		out := filepath.Join(base, "merged")
+		if _, err := store.Merge(out, dirs...); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(segmentPath(t, out))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	want := segBytes(2, false)
+	for _, tc := range []struct {
+		parts   int
+		reverse bool
+	}{{3, false}, {5, false}, {2, true}, {4, true}} {
+		if got := segBytes(tc.parts, tc.reverse); string(got) != string(want) {
+			t.Fatalf("merged store bytes differ for %d-way split (reverse=%v)", tc.parts, tc.reverse)
+		}
+	}
+}
+
+func TestMergeRefusesNonEmptyOutput(t *testing.T) {
+	base := t.TempDir()
+	fill(t, filepath.Join(base, "a"), map[string]float64{"ns\x00k": 1})
+	out := filepath.Join(base, "out")
+	fill(t, out, map[string]float64{"ns\x00old": 2})
+
+	if _, err := store.Merge(out, filepath.Join(base, "a")); err == nil {
+		t.Fatal("want error merging into a directory that already holds a store")
+	}
+}
+
+func TestMergeNoInputsFails(t *testing.T) {
+	if _, err := store.Merge(t.TempDir()); err == nil {
+		t.Fatal("want error for a merge with no inputs")
+	}
+}
+
+func TestMergeQuarantinedInputRecordsAreNotPropagated(t *testing.T) {
+	base := t.TempDir()
+	a := filepath.Join(base, "a")
+	fill(t, a, map[string]float64{"ns\x00good": 1})
+	// A corrupt sibling segment in the input: quarantined on read,
+	// absent from the merge.
+	if err := os.WriteFile(filepath.Join(a, "seg-000900.jsonl"), []byte("junk\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Merge(filepath.Join(base, "m"), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 1 {
+		t.Fatalf("merged %d records, want 1", st.Records)
+	}
+}

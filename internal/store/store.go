@@ -1,0 +1,371 @@
+// Package store implements the persistent, content-addressed result
+// store behind warm-start exploration: a directory of versioned,
+// append-only JSONL segments holding measured metric vectors keyed by
+// canonical configuration identity (the engine's memo key — the memo
+// namespace joined with Config.Key, addressed by a 64-bit FNV-1a
+// digest, the namespaced analogue of Config.Hash).
+//
+// The store is the second tier of the exploration memo (see
+// explore.Backing): the in-memory Memo consults it on a miss and
+// writes through to it after every fresh measurement, so a rerun of
+// an exploration — in the same process or days later in a CI job that
+// restored the directory from a cache — measures only configurations
+// the store has never seen. Because measurements are deterministic,
+// results are byte-identical whether a run is cold, warm, or mixed,
+// at any worker count; only the evaluated/hit statistics move.
+//
+// # On-disk format
+//
+// A store directory holds any number of segment files matching
+// seg-*.jsonl. Each segment begins with a header line
+//
+//	{"format":"flexos-result-store","version":1}
+//
+// followed by one record per line:
+//
+//	{"addr":"<16-hex FNV-1a of key>","key":"<namespace\x00 configkey>",
+//	 "metrics":{...},"sum":"<8-hex CRC-32 of addr+key+metrics>"}
+//
+// Nothing in a segment is trusted: a file whose header is missing,
+// unparsable, names a foreign format, or carries a version this build
+// does not know is quarantined — skipped whole, counted in
+// Stats.QuarantinedFiles, never deleted. Within a healthy segment,
+// the first record that fails to parse, whose checksum or address does
+// not match, or that is truncated mid-line ends the segment: the
+// records before it load, the rest is counted in
+// Stats.CorruptRecords. Corruption is therefore never fatal and never
+// poisons an exploration — a damaged entry is simply re-measured and
+// re-appended by the next warm run.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"flexos/internal/scenario"
+)
+
+// Format identity of segment files. Version bumps whenever the record
+// schema changes incompatibly; older builds quarantine newer segments
+// rather than misread them.
+const (
+	FormatName = "flexos-result-store"
+	Version    = 1
+)
+
+// header is the first line of every segment.
+type header struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+}
+
+// record is one stored measurement.
+type record struct {
+	Addr    string           `json:"addr"`
+	Key     string           `json:"key"`
+	Metrics scenario.Metrics `json:"metrics"`
+	Sum     string           `json:"sum"`
+}
+
+// Stats describes what Open found on disk and what the store has done
+// since.
+type Stats struct {
+	// Segments is the number of healthy segment files loaded.
+	Segments int
+	// Loaded counts records loaded into the index at Open.
+	Loaded int
+	// QuarantinedFiles counts segment files skipped whole: missing,
+	// foreign or future-version headers.
+	QuarantinedFiles int
+	// CorruptRecords counts records dropped from otherwise-healthy
+	// segments: parse failures, checksum or address mismatches, and
+	// truncated tails.
+	CorruptRecords int
+	// Written counts records appended by this store handle.
+	Written int
+}
+
+// Store is a persistent result store opened on a directory. Load and
+// Store are safe for concurrent use (they are called from the memo
+// under worker concurrency); Flush and Close are not concurrent with
+// them.
+type Store struct {
+	dir      string
+	readonly bool
+
+	mu    sync.Mutex
+	index map[string]scenario.Metrics
+	seg   *os.File
+	w     *bufio.Writer
+	stats Stats
+	err   error // first deferred write error, surfaced by Flush/Close
+}
+
+// Open opens (creating if necessary) a store directory for reading and
+// appending. Every healthy segment is loaded into the index; corrupt
+// or unknown files are quarantined, never trusted and never removed.
+func Open(dir string) (*Store, error) { return open(dir, false) }
+
+// OpenReadOnly opens an existing store directory for reading only:
+// Store becomes a no-op and no segment file is created. Opening a
+// directory that does not exist is an error.
+func OpenReadOnly(dir string) (*Store, error) { return open(dir, true) }
+
+func open(dir string, readonly bool) (*Store, error) {
+	if readonly {
+		info, err := os.Stat(dir)
+		if err != nil {
+			return nil, fmt.Errorf("store: open read-only: %w", err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("store: open read-only: %s is not a directory", dir)
+		}
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, readonly: readonly, index: make(map[string]scenario.Metrics)}
+	if err := s.loadAll(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// loadAll reads every segment in lexical order, so the index is
+// deterministic for a given directory content.
+func (s *Store) loadAll() error {
+	names, err := filepath.Glob(filepath.Join(s.dir, "seg-*.jsonl"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := s.loadSegment(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadSegment loads one segment file, quarantining it whole on a bad
+// header and truncating it logically at the first damaged record. Only
+// I/O failures (not content failures) are returned as errors.
+func (s *Store) loadSegment(name string) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		s.stats.QuarantinedFiles++ // empty file: no header to trust
+		return nil
+	}
+	var h header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil || h.Format != FormatName || h.Version != Version {
+		s.stats.QuarantinedFiles++
+		return nil
+	}
+	s.stats.Segments++
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil || !r.valid() {
+			// First damaged record: everything after it is suspect
+			// (truncation, partial append, bit rot) — drop the tail,
+			// counting every record it takes with it.
+			dropped := 1
+			for sc.Scan() {
+				if len(bytes.TrimSpace(sc.Bytes())) > 0 {
+					dropped++
+				}
+			}
+			s.stats.CorruptRecords += dropped
+			return nil
+		}
+		if _, dup := s.index[r.Key]; !dup {
+			s.index[r.Key] = r.Metrics
+			s.stats.Loaded++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// An unscannable tail (e.g. an over-long line) is content
+		// damage, not an I/O failure worth aborting the open for.
+		s.stats.CorruptRecords++
+	}
+	return nil
+}
+
+// valid recomputes the record's address and checksum.
+func (r *record) valid() bool {
+	return r.Addr == Addr(r.Key) && r.Sum == checksum(r)
+}
+
+// Addr returns the content address of a memo key: the 16-hex-digit
+// FNV-1a digest — for the engine's namespaced keys, the namespace ⊕
+// Config.Hash identity the index is organized around.
+func Addr(key string) string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// checksum covers the address, the key and the canonical JSON of the
+// metrics vector.
+func checksum(r *record) string {
+	mx, _ := json.Marshal(r.Metrics)
+	c := crc32.NewIEEE()
+	c.Write([]byte(r.Addr))
+	c.Write([]byte{0})
+	c.Write([]byte(r.Key))
+	c.Write([]byte{0})
+	c.Write(mx)
+	return fmt.Sprintf("%08x", c.Sum32())
+}
+
+// Load returns the stored vector for a memo key. It implements
+// explore.Backing.
+func (s *Store) Load(key string) (scenario.Metrics, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.index[key]
+	return m, ok
+}
+
+// Store appends one measurement (write-through from the memo) and
+// indexes it. On a read-only store it is a no-op. Write errors are
+// deferred: they are remembered and surfaced by Flush or Close, so a
+// full disk degrades the cache rather than failing the exploration.
+// It implements explore.Backing.
+func (s *Store) Store(key string, m scenario.Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readonly {
+		return
+	}
+	if _, dup := s.index[key]; dup {
+		return
+	}
+	s.index[key] = m
+	if s.err != nil {
+		return
+	}
+	if s.w == nil {
+		if err := s.openSegmentLocked(); err != nil {
+			s.err = err
+			return
+		}
+	}
+	r := record{Addr: Addr(key), Key: key, Metrics: m}
+	r.Sum = checksum(&r)
+	line, err := json.Marshal(r)
+	if err != nil {
+		s.err = fmt.Errorf("store: %w", err)
+		return
+	}
+	line = append(line, '\n')
+	if _, err := s.w.Write(line); err != nil {
+		s.err = fmt.Errorf("store: %w", err)
+		return
+	}
+	s.stats.Written++
+}
+
+// openSegmentLocked creates a fresh segment for this handle's appends,
+// named after the next free index so concurrent shard runs into
+// sibling directories never collide.
+func (s *Store) openSegmentLocked() error {
+	for i := 1; ; i++ {
+		name := filepath.Join(s.dir, fmt.Sprintf("seg-%06d.jsonl", i))
+		f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if errors.Is(err, os.ErrExist) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		s.seg = f
+		s.w = bufio.NewWriter(f)
+		hdr, _ := json.Marshal(header{Format: FormatName, Version: Version})
+		if _, err := s.w.Write(append(hdr, '\n')); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		return nil
+	}
+}
+
+// Flush forces buffered appends to disk and reports the first deferred
+// write error.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	if s.w != nil {
+		if err := s.w.Flush(); err != nil && s.err == nil {
+			s.err = fmt.Errorf("store: %w", err)
+		}
+		if err := s.seg.Sync(); err != nil && s.err == nil {
+			s.err = fmt.Errorf("store: %w", err)
+		}
+	}
+	return s.err
+}
+
+// Close flushes and closes the open segment. The store is unusable for
+// writing afterwards; Load keeps working off the in-memory index.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.flushLocked()
+	if s.seg != nil {
+		if cerr := s.seg.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("store: %w", cerr)
+		}
+		s.seg, s.w = nil, nil
+	}
+	return err
+}
+
+// Len returns the number of indexed measurements.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Keys returns every indexed memo key, sorted.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.index))
+	for k := range s.index {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns a snapshot of the open/write statistics.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Dir returns the directory the store was opened on.
+func (s *Store) Dir() string { return s.dir }

@@ -6,6 +6,7 @@ import (
 	"iter"
 
 	"flexos/internal/explore"
+	"flexos/internal/store"
 )
 
 // Query is the one exploration surface of the package: a fluent
@@ -41,6 +42,9 @@ type Query struct {
 	workers     int
 	prune       bool
 	memo        *ExploreMemo
+	shard       explore.Shard
+	cacheDir    string
+	cacheRO     bool
 	progress    func(done, total int)
 	err         error
 }
@@ -145,6 +149,64 @@ func (q *Query) Memo(m *ExploreMemo) *Query {
 	return q
 }
 
+// Cache attaches a persistent result store to the query: every Run
+// (and Stream) opens the store directory — creating it on first use —
+// consults it before measuring any configuration, writes every fresh
+// measurement through to it, and flushes and closes it when the run
+// returns. A rerun of the same query therefore measures only
+// configurations the directory has never seen, in this process or any
+// other — results are byte-identical whether the run is cold, warm or
+// mixed, at any worker count; only the Evaluated/MemoHits statistics
+// move. Corrupt, truncated or future-version store files are
+// quarantined and re-measured, never trusted (see internal/store). A
+// deferred store write failure surfaces from Run unless the run
+// itself failed first (a completed-but-infeasible run counts as
+// success for this purpose: the store error wins over ErrNoFeasible).
+//
+// The store namespace is the query's Workload/Namespace composition,
+// so distinct workloads share one directory without collisions.
+// Cache supersedes Memo: combining both in one query is an error —
+// share the cache directory instead, it carries the same entries.
+func (q *Query) Cache(dir string) *Query {
+	q.cacheDir = dir
+	q.cacheRO = false
+	return q
+}
+
+// CacheReadOnly is Cache for a store that must not grow: hits load
+// from the directory, misses measure as usual but nothing is written
+// back, and opening a directory that does not exist is an error.
+func (q *Query) CacheReadOnly(dir string) *Query {
+	q.cacheDir = dir
+	q.cacheRO = true
+	return q
+}
+
+// Shard restricts the run to one deterministic slice of the space:
+// the index-th of count contiguous, order-preserving, pairwise
+// disjoint partitions of the canonical enumeration (sizes differ by
+// at most one). Shards use exactly the memo keys the full run would,
+// so count sharded runs — each with its own Cache directory, merged
+// with flexos-merge or store.Merge — warm-start the unsharded query
+// into a byte-identical result. Shard(0, 0) (the default) and
+// Shard(0, 1) run the whole space; an out-of-range pair fails at Run.
+func (q *Query) Shard(index, count int) *Query {
+	q.shard = explore.Shard{Index: index, Count: count}
+	return q
+}
+
+// SpaceHash digests the query's canonical identity — the composed
+// memo namespace plus every configuration key, in enumeration order —
+// into a 16-hex-digit handle. Two queries share a hash exactly when
+// they would populate the same result-store entries, which makes the
+// hash the natural cache key for a Cache directory (the CI
+// warm-explore job keys its restored store on it). The hash covers
+// the whole space regardless of Shard, so all shards of one
+// exploration agree on it.
+func (q *Query) SpaceHash() string {
+	return explore.SpaceHash(q.namespaceKey(), q.space)
+}
+
 // Namespace adds a caller-defined namespace component to the memo keys
 // (e.g. a request count baked into a custom measure function). It
 // composes with — never replaces — the Workload's own namespace.
@@ -162,6 +224,20 @@ func (q *Query) Progress(fn func(done, total int)) *Query {
 	return q
 }
 
+// namespaceKey composes the memo namespace: the caller's Namespace
+// joined with the Workload's own identity.
+func (q *Query) namespaceKey() string {
+	ns := q.namespace
+	if q.workload != "" {
+		if ns != "" {
+			ns += "|" + q.workload
+		} else {
+			ns = q.workload
+		}
+	}
+	return ns
+}
+
 // request snapshots the builder into an engine request.
 func (q *Query) request() (explore.Request, error) {
 	if q.err != nil {
@@ -170,13 +246,8 @@ func (q *Query) request() (explore.Request, error) {
 	if q.measure == nil {
 		return explore.Request{}, errors.New("flexos: query has no measurement source; call Workload, Measure or MeasureScalar")
 	}
-	ns := q.namespace
-	if q.workload != "" {
-		if ns != "" {
-			ns += "|" + q.workload
-		} else {
-			ns = q.workload
-		}
+	if q.cacheDir != "" && q.memo != nil {
+		return explore.Request{}, errors.New("flexos: Query.Cache and Query.Memo are exclusive; the cache directory already carries the memo's entries — share it instead")
 	}
 	return explore.Request{
 		Space:       q.space,
@@ -186,9 +257,41 @@ func (q *Query) request() (explore.Request, error) {
 		Workers:     q.workers,
 		Prune:       q.prune,
 		Memo:        q.memo,
-		Workload:    ns,
+		Workload:    q.namespaceKey(),
+		Shard:       q.shard,
 		Progress:    q.progress,
 	}, nil
+}
+
+// engineRun executes one snapshot of the query: it opens the cache
+// store when one is configured (load-on-miss, write-through), runs the
+// engine, and flushes and closes the store before returning — a store
+// write failure surfaces here unless the run itself already failed.
+func (q *Query) engineRun(ctx context.Context, req explore.Request) (*ExploreResult, error) {
+	if q.cacheDir == "" {
+		return explore.Engine{}.Run(ctx, req)
+	}
+	var (
+		st  *store.Store
+		err error
+	)
+	if q.cacheRO {
+		st, err = store.OpenReadOnly(q.cacheDir)
+	} else {
+		st, err = store.Open(q.cacheDir)
+	}
+	if err != nil {
+		return nil, err
+	}
+	req.Memo = explore.NewBackedMemo(st)
+	res, rerr := explore.Engine{}.Run(ctx, req)
+	// A deferred store write failure must not hide behind a completed
+	// run: ErrNoFeasible still returns a full result, so the store
+	// error wins there too — only a genuinely failed run outranks it.
+	if cerr := st.Close(); cerr != nil && (rerr == nil || errors.Is(rerr, ErrNoFeasible)) {
+		rerr = cerr
+	}
+	return res, rerr
 }
 
 // Run executes the query under ctx and returns the full exploration
@@ -202,7 +305,7 @@ func (q *Query) Run(ctx context.Context) (*ExploreResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return explore.Engine{}.Run(ctx, req)
+	return q.engineRun(ctx, req)
 }
 
 // Stream executes the query incrementally: it returns an iterator over
@@ -243,7 +346,10 @@ func (q *Query) Stream(ctx context.Context) (iter.Seq2[*ExploreConfig, Metrics],
 		}
 		sctx, cancel := context.WithCancel(ctx)
 		defer cancel()
-		n := len(req.Space)
+		// Observe indices are relative to the explored slice (the
+		// shard when one is set), so the reorder buffers need only
+		// cover that slice.
+		n := req.Shard.Size(len(req.Space))
 		var (
 			buf     = make([]ExploreMeasurement, n)
 			decided = make([]bool, n)
@@ -263,7 +369,7 @@ func (q *Query) Stream(ctx context.Context) (iter.Seq2[*ExploreConfig, Metrics],
 				}
 			}
 		}
-		res, err = explore.Engine{}.Run(sctx, req)
+		res, err = q.engineRun(sctx, req)
 	}
 	seq := iter.Seq2[*ExploreConfig, Metrics](run)
 	final := func() (*ExploreResult, error) {

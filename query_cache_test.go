@@ -1,0 +1,199 @@
+package flexos_test
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"flexos"
+)
+
+// cacheQuery builds the reference query the cache/shard tests reuse: a
+// deterministic scalar sweep with pruning and a throughput floor.
+func cacheQuery(space []*flexos.ExploreConfig) *flexos.Query {
+	return flexos.NewQuery(space).
+		MeasureScalar(syntheticScalar).
+		Namespace("cache-test").
+		Floor(flexos.MetricThroughput, 500).
+		Prune(true).
+		Workers(4)
+}
+
+func sameOutcome(t *testing.T, name string, a, b *flexos.ExploreResult) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Safest, b.Safest) {
+		t.Fatalf("%s: safest %v vs %v", name, a.Safest, b.Safest)
+	}
+	for i := range a.Measurements {
+		x, y := a.Measurements[i], b.Measurements[i]
+		if x.Perf != y.Perf || x.Metrics != y.Metrics || x.Evaluated != y.Evaluated || x.Pruned != y.Pruned {
+			t.Fatalf("%s: measurement %d diverges: %+v vs %+v", name, i, x, y)
+		}
+	}
+}
+
+func TestQueryCacheWarmRerunIsByteIdenticalAndFullyCached(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	space := flexos.Fig6Space(flexos.RedisComponents())
+
+	cold, err := cacheQuery(space).Cache(dir).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Evaluated == 0 {
+		t.Fatal("cold run measured nothing")
+	}
+
+	warm, err := cacheQuery(flexos.Fig6Space(flexos.RedisComponents())).Cache(dir).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Evaluated != 0 {
+		t.Fatalf("warm run re-measured %d configs", warm.Evaluated)
+	}
+	if warm.MemoHits != cold.Evaluated+cold.MemoHits {
+		t.Fatalf("warm hits %d, want %d", warm.MemoHits, cold.Evaluated+cold.MemoHits)
+	}
+	sameOutcome(t, "warm-vs-cold", warm, cold)
+
+	// A plain uncached run agrees too: the cache changes statistics,
+	// never results.
+	plain, err := cacheQuery(flexos.Fig6Space(flexos.RedisComponents())).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOutcome(t, "plain-vs-cold", plain, cold)
+}
+
+func TestQueryShardedCachesMergeIntoWarmFullRun(t *testing.T) {
+	base := t.TempDir()
+	const shards = 3
+
+	cold, err := cacheQuery(flexos.Fig6Space(flexos.RedisComponents())).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dirs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		dirs[i] = filepath.Join(base, "shard", string(rune('0'+i)))
+		res, err := cacheQuery(flexos.Fig6Space(flexos.RedisComponents())).
+			Shard(i, shards).Cache(dirs[i]).Run(context.Background())
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if res.Total >= cold.Total {
+			t.Fatalf("shard %d covered %d configs, want a strict slice of %d", i, res.Total, cold.Total)
+		}
+	}
+
+	merged := filepath.Join(base, "merged")
+	n, err := flexos.MergeStores(merged, dirs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < cold.Evaluated {
+		t.Fatalf("merged %d records, fewer than the cold run's %d measurements", n, cold.Evaluated)
+	}
+
+	warm, err := cacheQuery(flexos.Fig6Space(flexos.RedisComponents())).
+		CacheReadOnly(merged).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Evaluated != 0 {
+		t.Fatalf("merged warm run re-measured %d configs: shard union must cover the full run", warm.Evaluated)
+	}
+	sameOutcome(t, "merged-vs-cold", warm, cold)
+}
+
+func TestQueryStreamShardYieldsOnlyTheSlice(t *testing.T) {
+	full := flexos.Fig6Space(flexos.RedisComponents())
+	seq, final := cacheQuery(flexos.Fig6Space(flexos.RedisComponents())).
+		Shard(1, 3).Stream(context.Background())
+	var got int
+	for range seq {
+		got++
+	}
+	res, err := final()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total >= len(full) || res.Total == 0 {
+		t.Fatalf("shard stream covered %d configs, want a strict nonempty slice of %d", res.Total, len(full))
+	}
+	if got == 0 || got > res.Total {
+		t.Fatalf("stream yielded %d pairs for a %d-config shard", got, res.Total)
+	}
+}
+
+func TestQueryShardOutOfRangeFailsAtRun(t *testing.T) {
+	q := cacheQuery(flexos.Fig6Space(flexos.RedisComponents())).Shard(4, 4)
+	if _, err := q.Run(context.Background()); err == nil {
+		t.Fatal("want error for an out-of-range shard")
+	}
+}
+
+func TestQueryCacheAndMemoAreExclusive(t *testing.T) {
+	q := cacheQuery(flexos.Fig6Space(flexos.RedisComponents())).
+		Memo(flexos.NewExploreMemo()).Cache(t.TempDir())
+	if _, err := q.Run(context.Background()); err == nil {
+		t.Fatal("want error combining Cache with Memo")
+	}
+}
+
+func TestQueryCacheReadOnlyMissingDirErrors(t *testing.T) {
+	q := cacheQuery(flexos.Fig6Space(flexos.RedisComponents())).
+		CacheReadOnly(filepath.Join(t.TempDir(), "absent"))
+	if _, err := q.Run(context.Background()); err == nil {
+		t.Fatal("want error opening a missing read-only cache")
+	}
+}
+
+func TestQuerySpaceHashCoversNamespaceAndSpace(t *testing.T) {
+	redis := func() *flexos.Query { return cacheQuery(flexos.Fig6Space(flexos.RedisComponents())) }
+	h := redis().SpaceHash()
+	if h != redis().SpaceHash() {
+		t.Fatal("hash not stable across builds of the same query")
+	}
+	if len(h) != 16 {
+		t.Fatalf("hash %q: want 16 hex digits", h)
+	}
+	if nginx := cacheQuery(flexos.Fig6Space(flexos.NginxComponents())).SpaceHash(); nginx == h {
+		t.Fatal("hash ignores the space")
+	}
+	if other := redis().Namespace("other").SpaceHash(); other == h {
+		t.Fatal("hash ignores the namespace")
+	}
+	// Sharding never moves the hash: all shards of one exploration
+	// must agree on the store cache key.
+	if sharded := redis().Shard(1, 3).SpaceHash(); sharded != h {
+		t.Fatal("hash must ignore sharding")
+	}
+}
+
+func TestQueryStreamWithCacheIsByteIdenticalWarm(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	collect := func() ([]string, *flexos.ExploreResult) {
+		var lines []string
+		seq, final := cacheQuery(flexos.Fig6Space(flexos.RedisComponents())).Cache(dir).Stream(context.Background())
+		for cfg, m := range seq {
+			lines = append(lines, cfg.Label()+"|"+m.String())
+		}
+		res, err := final()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lines, res
+	}
+	coldLines, cold := collect()
+	warmLines, warm := collect()
+	if warm.Evaluated != 0 {
+		t.Fatalf("warm stream re-measured %d configs", warm.Evaluated)
+	}
+	if !reflect.DeepEqual(coldLines, warmLines) {
+		t.Fatal("streamed output differs between cold and warm runs")
+	}
+	sameOutcome(t, "stream-warm-vs-cold", warm, cold)
+}
