@@ -46,6 +46,18 @@
 //	flexos-explore -app cross -shard 2/4 -cache shards/2
 //	flexos-explore -app redis -space-hash
 //	flexos-explore -list
+//
+// -remote URL forwards the request to a running flexos-serve daemon
+// instead of exploring locally: the daemon executes it on its shared
+// memo (coalescing it with identical concurrent requests) and the
+// report it returns — streamed or complete — is byte-identical to the
+// local run's stdout. The run statistics still go to stderr; they
+// describe the daemon's run, so cache hits reflect the daemon's warm
+// memo. -cache, -dot and -progress are local concerns and cannot be
+// combined with -remote.
+//
+//	flexos-explore -remote http://127.0.0.1:8077 -scenario redis-get90
+//	flexos-explore -remote http://127.0.0.1:8077 -app cross -stream
 package main
 
 import (
@@ -80,6 +92,7 @@ func main() {
 	spaceHash := flag.Bool("space-hash", false, "print the exploration-space hash (the store cache key) and exit without measuring")
 	verbose := flag.Bool("v", false, "print every measured configuration after the run")
 	dotPath := flag.String("dot", "", "write the labeled safety poset as a Graphviz file (Fig. 8 visual)")
+	remote := flag.String("remote", "", "forward the request to a flexos-serve daemon at this base URL instead of exploring locally")
 	flag.Parse()
 
 	if *list {
@@ -94,13 +107,22 @@ func main() {
 		return
 	}
 
-	metric, err := flexos.ParseMetric(*metricName)
+	// Assemble the request — the same serializable form a flexos-serve
+	// daemon accepts, so the local and -remote paths cannot drift.
+	creq := cli.Request{
+		App: *app, Scenario: *scenarioName, Requests: *requests, Ops: *ops,
+		Metric: *metricName, Budgets: budgets,
+		Pareto: *pareto, Exhaustive: *exhaustive, Verbose: *verbose,
+		Stream: *stream, Shard: *shardSpec, Workers: *workers,
+		TimeoutMs: int(timeout.Milliseconds()),
+	}
+	q, info, err := creq.Build()
 	if err != nil {
 		fatal(2, err)
 	}
-	constraints, err := cli.ParseBudgets(budgets, metric)
-	if err != nil {
-		fatal(2, err)
+	if *spaceHash {
+		fmt.Println(q.SpaceHash())
+		return
 	}
 
 	ctx := context.Background()
@@ -110,33 +132,12 @@ func main() {
 		defer cancel()
 	}
 
-	// Assemble the query: the space and its measurement source.
-	sel := cli.Selection{App: *app, Scenario: *scenarioName, Requests: *requests, Ops: *ops}
-	q, title, scenarioMode, err := sel.Build()
-	if err != nil {
-		fatal(2, err)
-	}
-	if err := cli.ValidateScalar(scenarioMode, metric, constraints, *pareto); err != nil {
-		fatal(2, err)
-	}
-	if *spaceHash {
-		fmt.Println(q.SpaceHash())
+	if *remote != "" {
+		if *cacheDir != "" || *cacheRO || *dotPath != "" || *progress {
+			fatal(2, errors.New("-remote cannot be combined with -cache, -cache-readonly, -dot or -progress"))
+		}
+		runRemote(ctx, *remote, creq)
 		return
-	}
-	for _, c := range constraints {
-		q.Constrain(c.Metric, c.Op, c.Bound)
-	}
-	q.RankBy(metric).Workers(*workers).Prune(!*exhaustive && !*pareto)
-	if *shardSpec != "" {
-		sh, err := flexos.ParseShard(*shardSpec)
-		if err != nil {
-			fatal(2, err)
-		}
-		q.Shard(sh.Index, sh.Count)
-		// 0/1 is the whole space: its report matches an unsharded run.
-		if s := sh.String(); s != "" {
-			title = fmt.Sprintf("%s[shard %s]", title, s)
-		}
 	}
 	if *cacheDir != "" {
 		if *cacheRO {
@@ -158,11 +159,7 @@ func main() {
 	if *stream {
 		seq, final := q.Stream(ctx)
 		for cfg, m := range seq {
-			if scenarioMode {
-				fmt.Printf("measured %-55s %s\n", cfg.Label(), m)
-			} else {
-				fmt.Printf("measured %-55s %9.1fk req/s\n", cfg.Label(), m.Throughput/1000)
-			}
+			fmt.Println(cli.StreamLine(info.ScenarioMode, cfg, m))
 		}
 		res, err = final()
 	} else {
@@ -182,9 +179,32 @@ func main() {
 	if *verbose {
 		cli.PrintAll(os.Stdout, res)
 	}
-	writeDOT(*dotPath, res, title)
-	cli.PrintReport(os.Stdout, title, res, constraints, scenarioMode, *pareto, noFeasible)
+	writeDOT(*dotPath, res, info.Title)
+	cli.PrintReport(os.Stdout, info.Title, res, info.Constraints, info.ScenarioMode, *pareto, noFeasible)
 	cli.PrintStats(os.Stderr, "flexos-explore", res)
+}
+
+// runRemote forwards the request to a flexos-serve daemon and relays
+// its answer: the streamed lines and the report (both byte-identical
+// to a local run) to stdout, the daemon's run statistics to stderr.
+func runRemote(ctx context.Context, baseURL string, req cli.Request) {
+	client := &cli.Client{BaseURL: baseURL}
+	var (
+		resp cli.Response
+		err  error
+	)
+	if req.Stream {
+		resp, err = client.ExploreStream(ctx, req, func(line string) { fmt.Println(line) })
+	} else {
+		resp, err = client.Explore(ctx, req)
+	}
+	if err != nil {
+		fatal(1, err)
+	}
+	fmt.Print(resp.Report)
+	if resp.Stats != nil {
+		resp.Stats.Print(os.Stderr, "flexos-explore")
+	}
 }
 
 func progressBar(done, total int) {

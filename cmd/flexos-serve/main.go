@@ -1,0 +1,104 @@
+// Command flexos-serve runs the exploration service: a long-running
+// HTTP daemon executing flexos-explore-shaped requests on the shared
+// engine over one process-wide two-tier memo, with single-flight
+// coalescing of identical concurrent requests (see internal/serve).
+//
+// Endpoints:
+//
+//	POST /v1/explore   JSON request (see internal/cli.Request); answers
+//	                   a complete JSON report, or NDJSON with
+//	                   {"stream": true}
+//	GET  /healthz      liveness
+//	GET  /statsz       serving statistics (coalescing, hit rates)
+//
+// Usage:
+//
+//	flexos-serve -addr 127.0.0.1:8077 -cache .serve-store
+//	curl -s http://127.0.0.1:8077/healthz
+//	curl -s -X POST -d '{"scenario":"redis-get90"}' http://127.0.0.1:8077/v1/explore
+//	curl -sN -X POST -d '{"app":"cross","stream":true}' http://127.0.0.1:8077/v1/explore
+//	flexos-explore -remote http://127.0.0.1:8077 -scenario redis-get90
+//
+// The served report is byte-identical to what the same request run
+// locally would print — flexos-explore -remote just relays it.
+// SIGINT/SIGTERM shut the daemon down gracefully: in-flight runs are
+// canceled and the persistent store is flushed and closed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"flexos/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8077", "listen address")
+	workers := flag.Int("workers", 0, "engine workers per exploration for requests that do not name their own (<= 0: GOMAXPROCS)")
+	maxFlights := flag.Int("max-flights", 0, "concurrent engine runs; excess requests queue (<= 0: GOMAXPROCS)")
+	cacheDir := flag.String("cache", "", "persistent result-store directory backing the shared memo (measurements survive restarts)")
+	cacheRO := flag.Bool("cache-readonly", false, "open -cache read-only: load from the store, never write to it")
+	flag.Parse()
+
+	if *cacheRO && *cacheDir == "" {
+		fatal(errors.New("-cache-readonly requires -cache"))
+	}
+	srv, err := serve.New(serve.Config{
+		Workers:       *workers,
+		MaxFlights:    *maxFlights,
+		CacheDir:      *cacheDir,
+		CacheReadOnly: *cacheRO,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	// No WriteTimeout: NDJSON streams legitimately stay open for the
+	// length of an exploration. Slowloris-style clients are bounded by
+	// the header/body read deadlines instead.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "flexos-serve: listening on %s (cache %q)\n", *addr, *cacheDir)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		srv.Close()
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "flexos-serve: shutting down")
+	// Cancel in-flight explorations first so their subscribers get
+	// their responses promptly and the HTTP drain below finishes fast,
+	// instead of every handler riding out the whole grace period.
+	srv.Abort()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "flexos-serve:", err)
+	}
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flexos-serve:", err)
+	os.Exit(1)
+}

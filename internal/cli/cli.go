@@ -19,6 +19,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 
 	"flexos"
 )
@@ -188,28 +189,76 @@ func PrintReport(w io.Writer, title string, res *flexos.ExploreResult, constrain
 	}
 }
 
+// StreamLine renders one streamed measurement exactly as
+// flexos-explore -stream prints it: the full metric vector for
+// scenario workloads, just the throughput for scalar -app spaces
+// (whose vectors are mostly zero). flexos-serve streams these same
+// bytes, which is what makes a remote -stream run byte-identical to a
+// local one.
+func StreamLine(scenarioMode bool, cfg *flexos.ExploreConfig, m flexos.Metrics) string {
+	if scenarioMode {
+		return fmt.Sprintf("measured %-55s %s", cfg.Label(), m)
+	}
+	return fmt.Sprintf("measured %-55s %9.1fk req/s", cfg.Label(), m.Throughput/1000)
+}
+
+// RenderReport renders the deterministic report body a local
+// flexos-explore run would print to stdout (the -v listing when
+// verbose, then the report). flexos-serve responses carry exactly
+// this string, so a -remote run's stdout is byte-identical to the
+// local oracle's.
+func RenderReport(title string, res *flexos.ExploreResult, constraints []flexos.ExploreConstraint, scenarioMode, pareto, verbose, noFeasible bool) string {
+	var b strings.Builder
+	if verbose {
+		PrintAll(&b, res)
+	}
+	PrintReport(&b, title, res, constraints, scenarioMode, pareto, noFeasible)
+	return b.String()
+}
+
+// RunStats is the serializable form of the run statistics that
+// legally differ between cold, warm and coalesced runs — the part of
+// an exploration outcome that is *not* covered by the byte-identity
+// guarantee and therefore travels separately from the report.
+type RunStats struct {
+	Evaluated int    `json:"evaluated"`
+	MemoHits  int    `json:"memo_hits"`
+	Pruned    int    `json:"pruned"`
+	Shard     string `json:"shard,omitempty"`
+}
+
+// StatsOf extracts the run statistics from an exploration result.
+func StatsOf(res *flexos.ExploreResult) RunStats {
+	st := RunStats{Evaluated: res.Evaluated, MemoHits: res.MemoHits, Shard: res.Shard.String()}
+	for i := range res.Measurements {
+		if res.Measurements[i].Pruned {
+			st.Pruned++
+		}
+	}
+	return st
+}
+
+// Print writes the statistics line (see PrintStats).
+func (st RunStats) Print(w io.Writer, prog string) {
+	rate := 0.0
+	if st.Evaluated+st.MemoHits > 0 {
+		rate = 100 * float64(st.MemoHits) / float64(st.Evaluated+st.MemoHits)
+	}
+	shard := ""
+	if st.Shard != "" {
+		shard = " shard " + st.Shard
+	}
+	fmt.Fprintf(w, "%s:%s evaluated %d, cache/memo hits %d, pruned %d (cache hit rate %.1f%%)\n",
+		prog, shard, st.Evaluated, st.MemoHits, st.Pruned, rate)
+}
+
 // PrintStats writes the run statistics that legally differ between
 // cold, warm and sharded runs: fresh measurements, cache/memo hits,
 // pruned configurations, and the cache hit rate. flexos-explore sends
 // it to stderr so stdout stays byte-identical across cache states;
 // CI's warm-explore job parses the hit rate off it.
 func PrintStats(w io.Writer, prog string, res *flexos.ExploreResult) {
-	pruned := 0
-	for i := range res.Measurements {
-		if res.Measurements[i].Pruned {
-			pruned++
-		}
-	}
-	rate := 0.0
-	if res.Evaluated+res.MemoHits > 0 {
-		rate = 100 * float64(res.MemoHits) / float64(res.Evaluated+res.MemoHits)
-	}
-	shard := ""
-	if s := res.Shard.String(); s != "" {
-		shard = " shard " + s
-	}
-	fmt.Fprintf(w, "%s:%s evaluated %d, cache/memo hits %d, pruned %d (cache hit rate %.1f%%)\n",
-		prog, shard, res.Evaluated, res.MemoHits, pruned, rate)
+	StatsOf(res).Print(w, prog)
 }
 
 // PrintAll lists every decided configuration by rank (the -v listing).

@@ -1,0 +1,253 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"flexos"
+)
+
+// Request is the serializable form of one exploration request — the
+// same choices the flexos-explore flags express, as a JSON document a
+// flexos-serve daemon accepts over HTTP. flexos-explore builds one
+// from its flags whether it runs locally or forwards with -remote, so
+// the two paths cannot drift apart.
+//
+// The zero value normalizes to the CLI defaults: the redis -app space,
+// the throughput metric, 200 requests per measurement, and the
+// historical 500000 budget (ParseBudgets supplies it when Budgets is
+// empty).
+type Request struct {
+	// App selects a scalar benchmark space (redis | nginx | cross);
+	// Scenario, when non-empty, selects a workload of the multi-metric
+	// scenario library instead.
+	App      string `json:"app,omitempty"`
+	Scenario string `json:"scenario,omitempty"`
+	// Requests is the per-measurement request count for App spaces;
+	// Ops overrides the scenario's default op count when > 0.
+	Requests int `json:"requests,omitempty"`
+	Ops      int `json:"ops,omitempty"`
+	// Metric is the ranking metric, and the dimension plain-number
+	// Budgets bound (empty: throughput).
+	Metric string `json:"metric,omitempty"`
+	// Budgets are the -budget constraint specs: plain bounds on Metric
+	// or "metric>=bound" / "metric<=bound" forms.
+	Budgets []string `json:"budgets,omitempty"`
+	// Pareto adds the safety x throughput x memory frontier to the
+	// report; Exhaustive disables monotonic pruning; Verbose prefixes
+	// the report with the ranked listing of every configuration.
+	Pareto     bool `json:"pareto,omitempty"`
+	Exhaustive bool `json:"exhaustive,omitempty"`
+	Verbose    bool `json:"verbose,omitempty"`
+	// Stream asks the daemon for an NDJSON stream (one line per
+	// measured configuration, mirroring Query.Stream order) instead of
+	// a single complete response.
+	Stream bool `json:"stream,omitempty"`
+	// Shard restricts the run to one deterministic slice of the space,
+	// in the CLI "index/count" syntax.
+	Shard string `json:"shard,omitempty"`
+	// Workers is the engine worker count (<= 0: the server's default).
+	// It never changes result bytes — requests differing only in
+	// Workers coalesce onto one engine pass.
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMs bounds how long this caller waits, in milliseconds
+	// (0: no deadline). It cancels only the caller's subscription; a
+	// coalesced run keeps serving its other subscribers.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// Wire guardrails for DecodeRequest: a serving daemon must bound the
+// work one request can name. The local CLI paths do not apply them.
+const (
+	// MaxRequestBytes is the request-body cap flexos-serve enforces.
+	MaxRequestBytes = 1 << 20
+	maxRequests     = 1_000_000
+	maxOps          = 10_000_000
+	maxBudgets      = 16
+)
+
+// BuildInfo carries everything about a built Request that the
+// response rendering needs beyond the Query itself.
+type BuildInfo struct {
+	// Title heads the report ("redis-get90", "cross[shard 1/3]", …).
+	Title string
+	// ScenarioMode is true when measurements carry full metric vectors.
+	ScenarioMode bool
+	// Metric is the resolved ranking metric; Constraints the parsed
+	// budget conjunction, in request order (rendering order).
+	Metric      flexos.Metric
+	Constraints []flexos.ExploreConstraint
+	// Prune echoes the derived pruning choice (!Exhaustive && !Pareto).
+	Prune bool
+}
+
+// Normalize fills CLI defaults in place so that equal requests encode
+// equally: an empty selection becomes the redis app space at the
+// default 200 requests, the metric name is made explicit, and
+// senseless negatives are clamped. It is idempotent — DecodeRequest's
+// decode → normalize → encode → decode round-trip is stable.
+func (r *Request) Normalize() {
+	if r.App == "" && r.Scenario == "" {
+		r.App = "redis"
+	}
+	if r.Scenario != "" {
+		r.App = ""
+		r.Requests = 0
+	} else {
+		r.Ops = 0
+		if r.Requests <= 0 {
+			r.Requests = 200
+		}
+	}
+	if r.Metric == "" {
+		r.Metric = string(flexos.MetricThroughput)
+	}
+	if len(r.Budgets) == 0 {
+		r.Budgets = nil // an empty list means the default budget; encode the two alike
+	}
+	if r.Workers < 0 {
+		r.Workers = 0
+	}
+	if r.Ops < 0 {
+		r.Ops = 0
+	}
+	if r.TimeoutMs < 0 {
+		r.TimeoutMs = 0
+	}
+}
+
+// Build normalizes the request and assembles the flexos.Query it
+// describes, mirroring exactly what the flexos-explore flag path
+// does: selection, budget constraints, ranking, workers, derived
+// pruning, shard (with the title suffix). It does not attach a memo
+// or cache — the caller owns the caching tier.
+func (r *Request) Build() (*flexos.Query, *BuildInfo, error) {
+	r.Normalize()
+	metric, err := flexos.ParseMetric(r.Metric)
+	if err != nil {
+		return nil, nil, err
+	}
+	constraints, err := ParseBudgets(r.Budgets, metric)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel := Selection{App: r.App, Scenario: r.Scenario, Requests: r.Requests, Ops: r.Ops}
+	q, title, scenarioMode, err := sel.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ValidateScalar(scenarioMode, metric, constraints, r.Pareto); err != nil {
+		return nil, nil, err
+	}
+	for _, c := range constraints {
+		q.Constrain(c.Metric, c.Op, c.Bound)
+	}
+	prune := !r.Exhaustive && !r.Pareto
+	q.RankBy(metric).Workers(r.Workers).Prune(prune)
+	if r.Shard != "" {
+		sh, err := flexos.ParseShard(r.Shard)
+		if err != nil {
+			return nil, nil, err
+		}
+		q.Shard(sh.Index, sh.Count)
+		if s := sh.String(); s != "" {
+			title = fmt.Sprintf("%s[shard %s]", title, s)
+		}
+	}
+	return q, &BuildInfo{
+		Title:        title,
+		ScenarioMode: scenarioMode,
+		Metric:       metric,
+		Constraints:  constraints,
+		Prune:        prune,
+	}, nil
+}
+
+// CanonicalKey is the request's coalescing identity: the canonical
+// key of the query it builds (space hash ⊕ namespace ⊕ constraints ⊕
+// prune ⊕ shard — see Query.CanonicalKey). Requests differing only in
+// Workers, Verbose, Stream or TimeoutMs share a key, because none of
+// those can change result bytes.
+func (r Request) CanonicalKey() (string, error) {
+	q, _, err := r.Build()
+	if err != nil {
+		return "", err
+	}
+	return q.CanonicalKey(), nil
+}
+
+// Encode renders the canonical JSON of the normalized request.
+func (r Request) Encode() []byte {
+	r.Normalize()
+	b, err := json.Marshal(r)
+	if err != nil {
+		// Request has no unmarshalable field; keep the API infallible.
+		panic(fmt.Sprintf("cli: encode request: %v", err))
+	}
+	return b
+}
+
+// DecodeRequest parses and fully validates one wire request: strict
+// JSON (unknown fields and trailing garbage rejected), normalized
+// defaults, serving guardrails on the work a request may name, and a
+// complete Build so a request that decodes is a request that runs.
+// Malformed input returns an error, never a panic, and
+// decode → Encode → decode round-trips are stable.
+func DecodeRequest(data []byte) (Request, error) {
+	r, _, _, err := DecodeRequestQuery(data)
+	return r, err
+}
+
+// DecodeRequestQuery is DecodeRequest returning the built query and
+// its rendering info as well, so a serving hot path validates and
+// assembles in one pass instead of building the space twice.
+func DecodeRequestQuery(data []byte) (Request, *flexos.Query, *BuildInfo, error) {
+	var r Request
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return Request{}, nil, nil, fmt.Errorf("cli: decode request: %w", err)
+	}
+	if dec.More() {
+		return Request{}, nil, nil, errors.New("cli: decode request: trailing data after the JSON document")
+	}
+	r.Normalize()
+	if r.Requests > maxRequests {
+		return Request{}, nil, nil, fmt.Errorf("cli: decode request: requests %d exceeds the serving cap %d", r.Requests, maxRequests)
+	}
+	if r.Ops > maxOps {
+		return Request{}, nil, nil, fmt.Errorf("cli: decode request: ops %d exceeds the serving cap %d", r.Ops, maxOps)
+	}
+	if len(r.Budgets) > maxBudgets {
+		return Request{}, nil, nil, fmt.Errorf("cli: decode request: %d budgets exceeds the serving cap %d", len(r.Budgets), maxBudgets)
+	}
+	q, info, err := r.Build()
+	if err != nil {
+		return Request{}, nil, nil, fmt.Errorf("cli: decode request: %w", err)
+	}
+	return r, q, info, nil
+}
+
+// Response is one wire message of the serving protocol. A complete
+// response is a single Response document carrying Key, Report and
+// Stats (or Error). A streaming response is NDJSON: one Response per
+// line — each measured configuration as {"line": …} in Query.Stream
+// order, then a final document carrying Report and Stats (or Error).
+type Response struct {
+	// Key echoes the request's canonical (coalescing) key.
+	Key string `json:"key,omitempty"`
+	// Line is one streamed measurement, rendered exactly as a local
+	// flexos-explore -stream run prints it.
+	Line string `json:"line,omitempty"`
+	// Report is the deterministic report body — byte-identical to the
+	// local oracle's stdout for the same request.
+	Report string `json:"report,omitempty"`
+	// Stats carries the run statistics (legally differ between cold,
+	// warm and coalesced runs); travels outside Report so byte
+	// comparison of reports stays meaningful.
+	Stats *RunStats `json:"stats,omitempty"`
+	// Error is set instead of Report when the exploration failed.
+	Error string `json:"error,omitempty"`
+}

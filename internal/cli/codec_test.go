@@ -1,0 +1,238 @@
+package cli
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"flexos"
+)
+
+func TestRequestEncodeDecodeRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{},
+		{App: "redis"},
+		{App: "nginx", Requests: 120, Budgets: []string{"400000"}},
+		{App: "cross", Shard: "1/3", Workers: 8, Verbose: true},
+		{Scenario: "redis-get90", Ops: 100},
+		{Scenario: "redis-pipe8", Budgets: []string{"throughput>=200000", "p99<=40"}, Stream: true},
+		{Scenario: "nginx-keep75", Metric: "p99", Budgets: []string{"3"}, TimeoutMs: 5000},
+		{Scenario: "redis-get50", Pareto: true, Exhaustive: true},
+	}
+	for _, r := range reqs {
+		enc := r.Encode()
+		got, err := DecodeRequest(enc)
+		if err != nil {
+			t.Fatalf("decode(encode(%+v)): %v", r, err)
+		}
+		want := r
+		want.Normalize()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip changed the request:\n got %+v\nwant %+v", got, want)
+		}
+		if again := got.Encode(); !bytes.Equal(again, enc) {
+			t.Errorf("encode not stable:\n 1st %s\n 2nd %s", enc, again)
+		}
+	}
+}
+
+func TestDecodeRequestRejects(t *testing.T) {
+	for _, tc := range []struct{ name, body string }{
+		{"empty", ""},
+		{"not json", "hello"},
+		{"array", `[1,2]`},
+		{"unknown field", `{"bogus":1}`},
+		{"trailing garbage", `{"app":"redis"} {}`},
+		{"unknown app", `{"app":"plan9"}`},
+		{"unknown scenario", `{"scenario":"nope"}`},
+		{"bad metric", `{"metric":"zzz"}`},
+		{"bad budget", `{"budgets":["p99<="]}`},
+		{"bad shard syntax", `{"shard":"abc"}`},
+		{"shard out of range", `{"shard":"9/4"}`},
+		{"pareto needs scenario", `{"app":"redis","pareto":true}`},
+		{"metric needs scenario", `{"app":"redis","metric":"p99"}`},
+		{"requests cap", `{"app":"redis","requests":2000000}`},
+		{"ops cap", `{"scenario":"redis-get90","ops":99999999}`},
+		{"budgets cap", `{"budgets":["1","2","3","4","5","6","7","8","9","10","11","12","13","14","15","16","17"]}`},
+		{"wrong type", `{"workers":"four"}`},
+	} {
+		if _, err := DecodeRequest([]byte(tc.body)); err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+		}
+	}
+}
+
+// TestCanonicalKeyInvariants pins the coalescing identity: what must
+// and must not move the key. Requests that only differ in rendering
+// or scheduling knobs (workers, verbose, stream, timeout, budget
+// spelling and order, pareto-vs-exhaustive) share one engine pass;
+// anything that can change result bytes gets its own.
+func TestCanonicalKeyInvariants(t *testing.T) {
+	key := func(r Request) string {
+		t.Helper()
+		k, err := r.CanonicalKey()
+		if err != nil {
+			t.Fatalf("key(%+v): %v", r, err)
+		}
+		return k
+	}
+	base := Request{Scenario: "redis-get90"}
+	same := []Request{
+		{Scenario: "redis-get90", Workers: 1},
+		{Scenario: "redis-get90", Workers: 8},
+		{Scenario: "redis-get90", Verbose: true},
+		{Scenario: "redis-get90", Stream: true},
+		{Scenario: "redis-get90", TimeoutMs: 5000},
+		{Scenario: "redis-get90", Budgets: []string{"500000"}},              // the implicit default, spelled out
+		{Scenario: "redis-get90", Budgets: []string{"throughput>=500000"}}, // full spelling
+	}
+	for _, r := range same {
+		if key(r) != key(base) {
+			t.Errorf("%+v: key differs from base; these must coalesce", r)
+		}
+	}
+	if key(Request{Scenario: "redis-get90", Budgets: []string{"p99<=3", "throughput>=100000"}}) !=
+		key(Request{Scenario: "redis-get90", Budgets: []string{"throughput>=100000", "p99<=3"}}) {
+		t.Error("constraint order changed the key; the conjunction is order-free")
+	}
+	if key(Request{Scenario: "redis-get90", Pareto: true}) != key(Request{Scenario: "redis-get90", Exhaustive: true}) {
+		t.Error("pareto and exhaustive both disable pruning and nothing else; they must share a pass")
+	}
+	distinct := []Request{
+		{Scenario: "redis-get100"},                            // different workload
+		{Scenario: "redis-get90", Ops: 100},                   // different op count (memo namespace)
+		{Scenario: "redis-get90", Budgets: []string{"12345"}}, // different bound
+		{Scenario: "redis-get90", Metric: "p99", Budgets: []string{"p99<=3"}},
+		{Scenario: "redis-get90", Exhaustive: true}, // pruning changes decided sets
+		{Scenario: "redis-get90", Shard: "0/2"},
+		{App: "redis"},
+	}
+	seen := map[string]string{key(base): "base"}
+	for _, r := range distinct {
+		k := key(r)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%+v collides with %s; these must not coalesce", r, prev)
+		}
+		seen[k] = r.Scenario + r.App
+	}
+}
+
+// TestQueryRequestRoundTrip closes the loop between the builder and
+// the wire form: a Request built into a Query yields the same
+// canonical key after an encode/decode round trip, so a daemon and a
+// local CLI computing keys independently always agree.
+func TestQueryRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{App: "cross", Shard: "2/4", Budgets: []string{"300000"}},
+		{Scenario: "nginx-static", Exhaustive: true},
+		{Scenario: "redis-pipe8", Budgets: []string{"mem<=400000", "throughput>=100000"}},
+	}
+	for _, r := range reqs {
+		q, _, err := r.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := DecodeRequest(r.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		q2, _, err := rt.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.CanonicalKey() != q2.CanonicalKey() {
+			t.Errorf("%+v: canonical key unstable across the wire", r)
+		}
+		if q.SpaceHash() != q2.SpaceHash() {
+			t.Errorf("%+v: space hash unstable across the wire", r)
+		}
+	}
+}
+
+// configDerivedSeeds derives one request per shipped configs/*.yaml:
+// the file's application prefix selects the space, its flavor the
+// request shape — the corpus the fuzzer mutates from.
+func configDerivedSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	files, err := filepath.Glob("../../configs/*.yaml")
+	if err != nil || len(files) == 0 {
+		tb.Fatalf("no config seeds found: %v", err)
+	}
+	var seeds [][]byte
+	for _, f := range files {
+		app, _, _ := strings.Cut(filepath.Base(f), "-")
+		var r Request
+		switch app {
+		case "redis":
+			r = Request{App: "redis", Budgets: []string{"500000"}}
+		case "nginx":
+			r = Request{App: "nginx", Budgets: []string{"400000"}, Verbose: true}
+		case "iperf":
+			r = Request{Scenario: "iperf-stream4", Budgets: []string{"throughput>=1"}}
+		case "sqlite":
+			// SQLite scenarios are bench-only (no Fig6 space): seed the
+			// nearest servable shape, a memory-budgeted scenario run.
+			r = Request{Scenario: "redis-get90", Metric: "mem", Budgets: []string{"mem<=400000"}}
+		default:
+			r = Request{}
+		}
+		seeds = append(seeds, r.Encode())
+	}
+	return seeds
+}
+
+// FuzzDecodeRequest asserts the codec's safety contract: arbitrary
+// bodies never panic, anything that decodes re-encodes canonically,
+// and decode→encode→decode is a fixpoint.
+func FuzzDecodeRequest(f *testing.F) {
+	for _, seed := range configDerivedSeeds(f) {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"scenario":"redis-pipe8","budgets":["throughput>=200000","p99<=40"],"stream":true,"workers":8}`))
+	f.Add([]byte(`{"app":"cross","shard":"1/3","timeout_ms":1000}`))
+	f.Add([]byte(`{"app":"redis","requests":-5,"metric":""}`))
+	f.Add([]byte(`[{"app":"redis"}]`))
+	f.Add([]byte(`{"budgets":[{}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeRequest(data)
+		if err != nil {
+			return
+		}
+		enc := r.Encode()
+		r2, err := DecodeRequest(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v\ninput: %q\nencoded: %s", err, data, enc)
+		}
+		if again := r2.Encode(); !bytes.Equal(again, enc) {
+			t.Fatalf("encode not a fixpoint:\n 1st %s\n 2nd %s", enc, again)
+		}
+		if !reflect.DeepEqual(r, r2) {
+			t.Fatalf("round trip changed the request:\n got %+v\nwant %+v", r2, r)
+		}
+		// The coalescing key must be computable for anything that
+		// decodes, and stable across the round trip.
+		k1, err1 := r.CanonicalKey()
+		k2, err2 := r2.CanonicalKey()
+		if err1 != nil || err2 != nil || k1 != k2 {
+			t.Fatalf("canonical key unstable: %q (%v) vs %q (%v)", k1, err1, k2, err2)
+		}
+	})
+}
+
+// TestStreamLineMatchesExploreOutput pins the shared line renderer to
+// the historical flexos-explore -stream format.
+func TestStreamLineMatchesExploreOutput(t *testing.T) {
+	cfgs := flexos.Fig6Space(flexos.RedisComponents())
+	line := StreamLine(false, cfgs[0], flexos.Metrics{Throughput: 123456})
+	if !strings.HasPrefix(line, "measured ") || !strings.HasSuffix(line, "k req/s") {
+		t.Errorf("scalar line format drifted: %q", line)
+	}
+	vec := flexos.Metrics{Throughput: 1000, P50us: 1, P99us: 2, MaxUs: 3, PeakMemBytes: 4, BootCycles: 5}
+	line = StreamLine(true, cfgs[0], vec)
+	if !strings.Contains(line, vec.String()) {
+		t.Errorf("scenario line %q does not embed the vector %q", line, vec)
+	}
+}

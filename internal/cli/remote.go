@@ -1,0 +1,136 @@
+package cli
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client forwards exploration requests to a flexos-serve daemon. The
+// zero HTTPClient means http.DefaultClient. Explore and ExploreStream
+// return the daemon's Response; the Report inside is byte-identical
+// to what the same Request run locally would print, so callers render
+// it verbatim.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8077".
+	BaseURL string
+	// HTTPClient overrides the transport when non-nil.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// ExplorePath is the daemon's exploration endpoint.
+const ExplorePath = "/v1/explore"
+
+func (c *Client) post(ctx context.Context, req Request) (*http.Response, error) {
+	url := strings.TrimSuffix(c.BaseURL, "/") + ExplorePath
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(req.Encode()))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	return c.httpClient().Do(hreq)
+}
+
+// decodeError turns a non-OK complete response into an error carrying
+// the daemon's message.
+func decodeError(hres *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(hres.Body, MaxRequestBytes))
+	var r Response
+	if err := json.Unmarshal(body, &r); err == nil && r.Error != "" {
+		return fmt.Errorf("cli: remote explore: %s (HTTP %d)", r.Error, hres.StatusCode)
+	}
+	return fmt.Errorf("cli: remote explore: HTTP %d: %s", hres.StatusCode, strings.TrimSpace(string(body)))
+}
+
+// Explore runs one complete (non-streaming) remote exploration.
+func (c *Client) Explore(ctx context.Context, req Request) (Response, error) {
+	req.Stream = false
+	hres, err := c.post(ctx, req)
+	if err != nil {
+		return Response{}, err
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		return Response{}, decodeError(hres)
+	}
+	var r Response
+	if err := json.NewDecoder(hres.Body).Decode(&r); err != nil {
+		return Response{}, fmt.Errorf("cli: remote explore: decode response: %w", err)
+	}
+	if r.Error != "" {
+		return Response{}, fmt.Errorf("cli: remote explore: %s", r.Error)
+	}
+	return r, nil
+}
+
+// ExploreStream runs one streaming remote exploration: onLine is
+// called for each measured configuration, in Query.Stream order, with
+// exactly the bytes a local -stream run would print; the returned
+// Response is the final report document.
+func (c *Client) ExploreStream(ctx context.Context, req Request, onLine func(string)) (Response, error) {
+	req.Stream = true
+	hres, err := c.post(ctx, req)
+	if err != nil {
+		return Response{}, err
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		return Response{}, decodeError(hres)
+	}
+	sc := bufio.NewScanner(hres.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxRequestBytes)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var ev Response
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return Response{}, fmt.Errorf("cli: remote explore: decode stream event: %w", err)
+		}
+		switch {
+		case ev.Error != "":
+			return Response{}, fmt.Errorf("cli: remote explore: %s", ev.Error)
+		case ev.Line != "":
+			if onLine != nil {
+				onLine(ev.Line)
+			}
+		case ev.Report != "":
+			return ev, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Response{}, fmt.Errorf("cli: remote explore: %w", err)
+	}
+	return Response{}, fmt.Errorf("cli: remote explore: stream ended without a final report")
+}
+
+// Healthz checks the daemon's health endpoint.
+func (c *Client) Healthz(ctx context.Context) error {
+	url := strings.TrimSuffix(c.BaseURL, "/") + "/healthz"
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	hres, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hres.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(hres.Body, 4096))
+	if hres.StatusCode != http.StatusOK {
+		return fmt.Errorf("cli: healthz: HTTP %d", hres.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flexos/internal/scenario"
+)
+
+// CanonicalRequestKey digests everything about an exploration request
+// that can change the bytes of its result: the space identity (the
+// SpaceHash of the memo namespace plus every configuration key), the
+// resolved ranking metric, the constraint conjunction, whether
+// monotonic pruning is enabled, and the shard. Two requests share a
+// key exactly when the engine is guaranteed to produce byte-identical
+// results for both — which is what lets a serving layer coalesce
+// concurrent requests onto one engine pass.
+//
+// Deliberately excluded: the worker count (results are byte-identical
+// for every value), the memo/backing (a cache tier can change
+// statistics, never results), and the Progress/Observe hooks.
+// Constraints are rendered canonically and sorted, since feasibility
+// is their conjunction — "a AND b" and "b AND a" decide the same runs.
+func CanonicalRequestKey(workload string, cfgs []*Config, metric Metric, constraints []Constraint, prune bool, shard Shard) string {
+	// Resolve the ranking metric exactly as Engine.Run does.
+	if metric == "" {
+		if len(constraints) > 0 {
+			metric = constraints[0].Metric
+		}
+		if metric == "" {
+			metric = scenario.MetricThroughput
+		}
+	}
+	cs := make([]string, 0, len(constraints))
+	for _, c := range constraints {
+		cs = append(cs, c.String())
+	}
+	sort.Strings(cs)
+	return fmt.Sprintf("space=%s;metric=%s;constraints=%s;prune=%t;shard=%s",
+		SpaceHash(workload, cfgs), metric, strings.Join(cs, ","), prune, shard)
+}

@@ -1,0 +1,295 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flexos/internal/cli"
+)
+
+// Concurrency harness: coalescing semantics (one engine pass for a
+// storm of identical requests), orphaned-flight cancellation, and
+// goroutine hygiene across server shutdown.
+
+// stableGoroutines polls until the goroutine count settles back to at
+// most base (the PR 3 cancellation-test pattern), failing if it never
+// does.
+func stableGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d alive, started with %d", n, base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// waitStats polls the server statistics until cond holds.
+func waitStats(t *testing.T, srv *Server, what string, cond func(Stats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if cond(srv.Stats()) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s; stats: %+v", what, srv.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServeCoalescesIdenticalRequestStorm is the single-flight
+// acceptance test: N concurrent identical requests — at N different
+// worker counts, which must not matter — trigger exactly one engine
+// pass, observed three ways (the flight counter, the per-decision
+// hook against the oracle's decision count, and the coalesce
+// counter), and every caller receives byte-identical bytes.
+func TestServeCoalescesIdenticalRequestStorm(t *testing.T) {
+	req := cli.Request{Scenario: "redis-get90"}
+	want := oracle(t, req, nil)
+
+	srv, client := newTestServer(t, Config{Workers: 2})
+	gate := make(chan struct{})
+	srv.onFlightStart = func(string) { <-gate }
+	var decided atomic.Int64
+	srv.onDecided = func(string) { decided.Add(1) }
+
+	const n = 8
+	reports := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := req
+			r.Workers = 1 + i // 1..8: the key must not see worker count
+			resp, err := client.Explore(context.Background(), r)
+			reports[i], errs[i] = resp.Report, err
+		}(i)
+	}
+
+	// The flight is gated, so every request must pile onto it before
+	// any measurement happens.
+	waitStats(t, srv, "the storm to attach", func(st Stats) bool {
+		return st.Requests == n && st.Coalesced == n-1
+	})
+	close(gate)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if reports[i] != want.report {
+			t.Errorf("request %d: report differs from oracle", i)
+		}
+	}
+	st := srv.Stats()
+	if st.FlightsStarted != 1 {
+		t.Errorf("storm started %d engine passes, want exactly 1", st.FlightsStarted)
+	}
+	if got, wantN := decided.Load(), int64(len(want.lines)); got != wantN {
+		t.Errorf("engine decided %d measurements, want the oracle's single-pass %d", got, wantN)
+	}
+	if st.Completed != 1 {
+		t.Errorf("completed flights: %d, want 1", st.Completed)
+	}
+}
+
+// TestServeStreamAttachMidFlight proves a subscriber that joins an
+// in-flight run still sees the complete, ordered line sequence: the
+// flight's decided prefix replays, then the live tail follows.
+func TestServeStreamAttachMidFlight(t *testing.T) {
+	req := cli.Request{Scenario: "redis-get50"}
+	want := oracle(t, req, nil)
+	if len(want.lines) < 4 {
+		t.Fatalf("oracle produced only %d lines; test needs a few", len(want.lines))
+	}
+
+	srv, client := newTestServer(t, Config{Workers: 1})
+	release := make(chan struct{})
+	var decided atomic.Int64
+	srv.onDecided = func(string) {
+		// Hold the engine after a few decisions until the late
+		// subscriber has attached.
+		if decided.Add(1) == 3 {
+			<-release
+		}
+	}
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := client.Explore(context.Background(), req)
+		first <- err
+	}()
+	waitStats(t, srv, "a partially-decided flight", func(st Stats) bool {
+		return st.FlightsStarted == 1 && decided.Load() >= 3
+	})
+
+	var lines []string
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.ExploreStream(context.Background(), req, func(line string) { lines = append(lines, line) })
+		done <- err
+	}()
+	waitStats(t, srv, "the late subscriber to coalesce", func(st Stats) bool { return st.Coalesced == 1 })
+	close(release)
+
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(lines, "\n") != strings.Join(want.lines, "\n") {
+		t.Errorf("mid-flight subscriber saw %d lines, oracle %d; sequences differ", len(lines), len(want.lines))
+	}
+}
+
+// TestServeDistinctStormNoGoroutineLeak floods the daemon with
+// distinct requests — more than the flight budget, mixing complete
+// and streamed — and asserts that after shutdown no goroutine
+// survives.
+func TestServeDistinctStormNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	srv, client := newTestServer(t, Config{Workers: 2, MaxFlights: 2})
+
+	reqs := []cli.Request{
+		{Scenario: "redis-get90"},
+		{Scenario: "redis-get90", Budgets: []string{"400000"}},
+		{Scenario: "redis-get90", Budgets: []string{"300000"}, Stream: true},
+		{Scenario: "redis-get100"},
+		{Scenario: "nginx-static", Stream: true},
+		{Scenario: "nginx-keep75"},
+		{Scenario: "iperf-stream1", Budgets: []string{"throughput>=1"}},
+		{Scenario: "redis-pipe8", Shard: "0/2"},
+		{Scenario: "redis-pipe8", Shard: "1/2"},
+		{App: "redis"},
+		{App: "redis", Budgets: []string{"450000"}, Verbose: true},
+		{App: "nginx", Stream: true},
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(reqs))
+	for i, r := range reqs {
+		wg.Add(1)
+		go func(i int, r cli.Request) {
+			defer wg.Done()
+			var err error
+			if r.Stream {
+				_, err = client.ExploreStream(context.Background(), r, nil)
+			} else {
+				_, err = client.Explore(context.Background(), r)
+			}
+			errs[i] = err
+		}(i, r)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("request %d (%+v): %v", i, reqs[i], err)
+		}
+	}
+	st := srv.Stats()
+	if st.FlightsStarted != int64(len(reqs)) {
+		t.Errorf("distinct storm started %d flights, want %d (keys collided?)", st.FlightsStarted, len(reqs))
+	}
+
+	// Tear the server down ourselves (Cleanup would too, but the leak
+	// assertion must run after it).
+	client.HTTPClient.CloseIdleConnections()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stableGoroutines(t, base+2) // httptest's listener goroutine dies with Cleanup
+}
+
+// TestServeSubscriberTimeoutCancelsOrphanedFlight threads the
+// per-request timeout into the engine: when the only subscriber times
+// out, the flight is canceled rather than left running, and a retry
+// starts fresh and succeeds.
+func TestServeSubscriberTimeoutCancelsOrphanedFlight(t *testing.T) {
+	req := cli.Request{Scenario: "nginx-keepalive"}
+	want := oracle(t, req, nil)
+
+	srv, client := newTestServer(t, Config{Workers: 2})
+	gate := make(chan struct{})
+	srv.onFlightStart = func(string) { <-gate }
+
+	timed := req
+	timed.TimeoutMs = 300
+	sub := make(chan error, 1)
+	go func() {
+		_, err := client.Explore(context.Background(), timed)
+		sub <- err
+	}()
+	// The flight must be in flight (gated) before its only subscriber
+	// times out, so the cancellation is unambiguously the timeout's.
+	waitStats(t, srv, "the gated flight to start", func(st Stats) bool { return st.FlightsStarted == 1 })
+	if err := <-sub; err == nil {
+		t.Fatal("timed-out request reported success")
+	}
+	close(gate) // let the orphaned flight run into its canceled context
+	waitStats(t, srv, "the orphaned flight to cancel", func(st Stats) bool { return st.Canceled == 1 })
+
+	resp, err := client.Explore(context.Background(), req)
+	if err != nil {
+		t.Fatalf("retry after timeout: %v", err)
+	}
+	if resp.Report != want.report {
+		t.Error("retry report differs from oracle")
+	}
+	if st := srv.Stats(); st.FlightsStarted != 2 {
+		t.Errorf("flights started: %d, want 2 (timeout + retry)", st.FlightsStarted)
+	}
+}
+
+// TestServeShutdownUnblocksSubscribers closes the server while a
+// flight is in progress: the waiting subscriber gets a clean error,
+// new requests are rejected, and Close returns.
+func TestServeShutdownUnblocksSubscribers(t *testing.T) {
+	srv, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client := &cli.Client{BaseURL: ts.URL, HTTPClient: ts.Client()}
+	gate := make(chan struct{})
+	srv.onFlightStart = func(string) { <-gate }
+
+	sub := make(chan error, 1)
+	go func() {
+		_, err := client.Explore(context.Background(), cli.Request{Scenario: "redis-get90"})
+		sub <- err
+	}()
+	waitStats(t, srv, "the flight to start", func(st Stats) bool { return st.FlightsStarted == 1 })
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	waitStats(t, srv, "the server to refuse new work", func(Stats) bool {
+		_, err := client.Explore(context.Background(), cli.Request{Scenario: "redis-get100"})
+		return err != nil
+	})
+	close(gate)
+
+	if err := <-sub; err == nil {
+		t.Error("subscriber of a shutdown-canceled flight reported success")
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -1,0 +1,534 @@
+// Package serve implements exploration-as-a-service: a long-running
+// HTTP daemon (cmd/flexos-serve) that executes exploration requests
+// on the shared engine over one process-wide two-tier memo, so many
+// callers asking for overlapping slices of the configuration space
+// pay for each measurement once.
+//
+// # Protocol
+//
+//   - POST /v1/explore with a cli.Request JSON body. The complete
+//     form answers one cli.Response document whose Report is
+//     byte-identical to what the same request run locally through
+//     flexos-explore would print. With "stream": true the answer is
+//     NDJSON — one {"line": …} document per measured configuration,
+//     mirroring Query.Stream's input-order guarantee, then a final
+//     document carrying the Report and Stats.
+//   - GET /healthz — liveness.
+//   - GET /statsz — serving statistics (flights, coalescing, hit
+//     rates, in-flight gauges) as JSON.
+//
+// # Coalescing
+//
+// The core mechanism is single-flight request coalescing: concurrent
+// requests whose canonical key (Query.CanonicalKey — space hash ⊕
+// memo namespace ⊕ constraints ⊕ pruning ⊕ shard) collide attach to
+// one in-flight engine run, and every subscriber renders its response
+// from the same shared result — byte-identical by construction, and
+// proven against the direct-Query oracle in serve_test.go. Requests
+// differing only in worker count coalesce too: worker count never
+// changes result bytes. Disjoint requests run concurrently under a
+// bounded flight budget. A flight is canceled (its context threads
+// into the engine's worker pool) only when its last subscriber
+// disconnects, and removed from the table the moment it finishes, so
+// the table only ever holds work that can still be joined — repeats
+// of a finished request re-run the engine against the warm memo
+// instead, which re-measures nothing.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"flexos"
+	"flexos/internal/cli"
+	"flexos/internal/explore"
+	"flexos/internal/store"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Workers is the engine worker count for requests that do not name
+	// their own (<= 0: GOMAXPROCS). Worker count never changes result
+	// bytes, only wall-clock time.
+	Workers int
+	// MaxFlights bounds how many engine runs execute concurrently
+	// (<= 0: GOMAXPROCS). Excess flights queue; their subscribers wait.
+	MaxFlights int
+	// CacheDir, when non-empty, backs the process-wide memo with a
+	// persistent result store: measurements survive daemon restarts.
+	// CacheReadOnly opens it load-only.
+	CacheDir      string
+	CacheReadOnly bool
+}
+
+// Stats is the /statsz document.
+type Stats struct {
+	// UptimeMs is the time since New.
+	UptimeMs int64 `json:"uptime_ms"`
+	// Requests counts exploration requests accepted; Coalesced those
+	// that attached to an already-in-flight run instead of starting
+	// their own; FlightsStarted the engine passes actually begun.
+	Requests       int64 `json:"requests"`
+	Coalesced      int64 `json:"coalesced"`
+	FlightsStarted int64 `json:"flights_started"`
+	// InFlight and Subscribers are gauges: engine runs currently
+	// executing (or queued) and callers currently attached to them.
+	InFlight    int `json:"in_flight"`
+	Subscribers int `json:"subscribers"`
+	// Completed / Failed / Canceled count finished flights by outcome
+	// (a run that completed but satisfied no constraint counts as
+	// completed: it produced a full report).
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	// Evaluated and MemoHits accumulate the per-run statistics across
+	// completed flights; HitRatePct is their ratio — how much of the
+	// served work the two-tier memo absorbed.
+	Evaluated  int64   `json:"evaluated"`
+	MemoHits   int64   `json:"memo_hits"`
+	HitRatePct float64 `json:"hit_rate_pct"`
+	// MemoEntries is the in-memory tier's current size; Store the
+	// persistent tier's statistics when one is configured.
+	MemoEntries int          `json:"memo_entries"`
+	Store       *store.Stats `json:"store,omitempty"`
+	// StoreFlushErrors counts failed post-flight store flushes (the
+	// cache degrades; serving continues).
+	StoreFlushErrors int64 `json:"store_flush_errors,omitempty"`
+}
+
+// Server is the exploration service. Create it with New, serve it as
+// an http.Handler, and Close it to cancel in-flight work and flush
+// the persistent store. Safe for concurrent use.
+type Server struct {
+	cfg   Config
+	memo  *explore.Memo
+	st    *store.Store
+	start time.Time
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	sem        chan struct{}
+	wg         sync.WaitGroup
+
+	mu      sync.Mutex
+	flights map[string]*flight
+	closed  bool
+	stats   Stats
+
+	// Test seams (package-internal): onFlightStart runs on the flight
+	// goroutine after the flight is admitted, before the engine pass;
+	// onDecided runs once per streamed measurement of every pass.
+	onFlightStart func(key string)
+	onDecided     func(key string)
+}
+
+// flight is one in-flight (or just-finished) engine pass, shared by
+// every subscriber whose request coalesced onto it.
+type flight struct {
+	key          string
+	scenarioMode bool
+	ctx          context.Context
+	cancel       context.CancelFunc
+
+	mu     sync.Mutex
+	lines  []string      // streamed measurements, in Query.Stream order
+	notify chan struct{} // closed and replaced on every append
+	subs   int
+
+	done chan struct{} // closed after res/err are set
+	res  *flexos.ExploreResult
+	err  error
+}
+
+// appendLine publishes one streamed measurement to the subscribers.
+func (f *flight) appendLine(line string) {
+	f.mu.Lock()
+	f.lines = append(f.lines, line)
+	close(f.notify)
+	f.notify = make(chan struct{})
+	f.mu.Unlock()
+}
+
+// snapshot returns the lines decided since from, and the channel that
+// signals the next append.
+func (f *flight) snapshot(from int) ([]string, chan struct{}) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lines[from:], f.notify
+}
+
+// New creates a Server, opening the persistent store when configured.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxFlights <= 0 {
+		cfg.MaxFlights = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		cfg:     cfg,
+		start:   time.Now(),
+		sem:     make(chan struct{}, cfg.MaxFlights),
+		flights: make(map[string]*flight),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	if cfg.CacheDir != "" {
+		var (
+			st  *store.Store
+			err error
+		)
+		if cfg.CacheReadOnly {
+			st, err = store.OpenReadOnly(cfg.CacheDir)
+		} else {
+			st, err = store.Open(cfg.CacheDir)
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.st = st
+		s.memo = explore.NewBackedMemo(st)
+	} else {
+		s.memo = explore.NewMemo()
+	}
+	return s, nil
+}
+
+// Abort stops accepting new requests and cancels every in-flight
+// engine run, without waiting: subscribers receive their cancellation
+// responses promptly, which is what lets an HTTP graceful drain
+// finish fast instead of riding out its whole grace period behind a
+// long exploration. Close completes the shutdown.
+func (s *Server) Abort() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.baseCancel()
+}
+
+// Close aborts (if Abort has not run already), waits for the flight
+// goroutines, and flushes and closes the persistent store. The first
+// store error is returned.
+func (s *Server) Close() error {
+	s.Abort()
+	s.wg.Wait()
+	if s.st != nil {
+		return s.st.Close()
+	}
+	return nil
+}
+
+// Stats snapshots the serving statistics.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	st := s.stats
+	subs := 0
+	for _, f := range s.flights {
+		f.mu.Lock()
+		subs += f.subs
+		f.mu.Unlock()
+	}
+	s.mu.Unlock()
+	st.Subscribers = subs
+	st.UptimeMs = time.Since(s.start).Milliseconds()
+	if st.Evaluated+st.MemoHits > 0 {
+		st.HitRatePct = 100 * float64(st.MemoHits) / float64(st.Evaluated+st.MemoHits)
+	}
+	st.MemoEntries = s.memo.Len()
+	if s.st != nil {
+		ss := s.st.Stats()
+		st.Store = &ss
+	}
+	return st
+}
+
+// ServeHTTP routes the service endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/healthz":
+		s.handleHealthz(w, r)
+	case "/statsz":
+		s.handleStatsz(w, r)
+	case cli.ExplorePath:
+		s.handleExplore(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "uptime_ms": time.Since(s.start).Milliseconds()})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, cli.MaxRequestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("read request: %v", err))
+		return
+	}
+	// The query belongs to this subscriber: the flight shares the
+	// engine pass, but rendering (pareto, verbose, constraint order)
+	// is per-request, carried by info.
+	req, q, info, err := cli.DecodeRequestQuery(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := q.CanonicalKey()
+
+	f, coalesced, err := s.attach(key, q, info, req.Workers)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	defer s.detach(f)
+	if coalesced {
+		w.Header().Set("X-Flexos-Coalesced", "true")
+	}
+
+	ctx := r.Context()
+	if req.TimeoutMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+		defer cancel()
+	}
+	if req.Stream {
+		s.respondStream(w, ctx, f, &req, info)
+	} else {
+		s.respondComplete(w, ctx, f, &req, info)
+	}
+}
+
+// attach joins the request to the in-flight run for key, starting one
+// when none exists.
+func (s *Server) attach(key string, q *flexos.Query, info *cli.BuildInfo, workers int) (*flight, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, errors.New("serve: server is shutting down")
+	}
+	s.stats.Requests++
+	if f, ok := s.flights[key]; ok {
+		f.mu.Lock()
+		f.subs++
+		f.mu.Unlock()
+		s.stats.Coalesced++
+		return f, true, nil
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	f := &flight{
+		key:          key,
+		scenarioMode: info.ScenarioMode,
+		ctx:          ctx,
+		cancel:       cancel,
+		notify:       make(chan struct{}),
+		done:         make(chan struct{}),
+		subs:         1,
+	}
+	s.flights[key] = f
+	s.stats.InFlight++
+	if workers <= 0 {
+		q.Workers(s.cfg.Workers)
+	}
+	q.Memo(s.memo)
+	s.wg.Add(1)
+	go s.runFlight(f, q)
+	return f, false, nil
+}
+
+// detach drops one subscriber; the last one out cancels a run nobody
+// is waiting for (the engine winds its worker pool down promptly).
+func (s *Server) detach(f *flight) {
+	s.mu.Lock()
+	f.mu.Lock()
+	f.subs--
+	orphaned := f.subs == 0
+	f.mu.Unlock()
+	if orphaned {
+		if cur, ok := s.flights[f.key]; ok && cur == f {
+			delete(s.flights, f.key)
+		}
+	}
+	s.mu.Unlock()
+	if orphaned {
+		f.cancel()
+	}
+}
+
+// runFlight executes one engine pass under the flight budget and
+// publishes its outcome.
+func (s *Server) runFlight(f *flight, q *flexos.Query) {
+	defer s.wg.Done()
+	defer f.cancel()
+
+	finish := func(res *flexos.ExploreResult, err error) {
+		s.mu.Lock()
+		if cur, ok := s.flights[f.key]; ok && cur == f {
+			delete(s.flights, f.key)
+		}
+		s.stats.InFlight--
+		switch {
+		case err == nil || errors.Is(err, flexos.ErrNoFeasible):
+			s.stats.Completed++
+			if res != nil {
+				s.stats.Evaluated += int64(res.Evaluated)
+				s.stats.MemoHits += int64(res.MemoHits)
+			}
+		case errors.Is(err, flexos.ErrCanceled):
+			s.stats.Canceled++
+		default:
+			s.stats.Failed++
+		}
+		s.mu.Unlock()
+		f.res, f.err = res, err
+		close(f.done)
+	}
+
+	// The flight budget: wait for a slot unless every subscriber has
+	// already walked away (or the server is closing).
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-f.ctx.Done():
+		finish(nil, fmt.Errorf("serve: %w", explore.ErrCanceled))
+		return
+	}
+
+	s.mu.Lock()
+	s.stats.FlightsStarted++
+	s.mu.Unlock()
+	if s.onFlightStart != nil {
+		s.onFlightStart(f.key)
+	}
+
+	// Always run streaming: the decided lines are shared state every
+	// streaming subscriber replays and then follows, whatever moment
+	// it attached, so all of them see the same byte sequence.
+	seq, final := q.Stream(f.ctx)
+	for cfg, m := range seq {
+		f.appendLine(cli.StreamLine(f.scenarioMode, cfg, m))
+		if s.onDecided != nil {
+			s.onDecided(f.key)
+		}
+	}
+	res, err := final()
+	if s.st != nil && !s.cfg.CacheReadOnly {
+		if ferr := s.st.Flush(); ferr != nil {
+			s.mu.Lock()
+			s.stats.StoreFlushErrors++
+			s.mu.Unlock()
+		}
+	}
+	finish(res, err)
+}
+
+// render builds the subscriber's view of a finished flight. The
+// engine pass is shared; rendering (title, constraint order, pareto,
+// verbose) belongs to each subscriber's own request — identical
+// requests therefore render identical bytes.
+func render(f *flight, req *cli.Request, info *cli.BuildInfo) (cli.Response, int) {
+	noFeasible := errors.Is(f.err, flexos.ErrNoFeasible)
+	if f.err != nil && !noFeasible {
+		status := http.StatusInternalServerError
+		if errors.Is(f.err, flexos.ErrCanceled) {
+			status = http.StatusServiceUnavailable
+		}
+		return cli.Response{Key: f.key, Error: f.err.Error()}, status
+	}
+	st := cli.StatsOf(f.res)
+	return cli.Response{
+		Key:    f.key,
+		Report: cli.RenderReport(info.Title, f.res, info.Constraints, info.ScenarioMode, req.Pareto, req.Verbose, noFeasible),
+		Stats:  &st,
+	}, http.StatusOK
+}
+
+func (s *Server) respondComplete(w http.ResponseWriter, ctx context.Context, f *flight, req *cli.Request, info *cli.BuildInfo) {
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		writeError(w, http.StatusGatewayTimeout, "request canceled or timed out while the exploration was in flight")
+		return
+	}
+	resp, status := render(f, req, info)
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) respondStream(w http.ResponseWriter, ctx context.Context, f *flight, req *cli.Request, info *cli.BuildInfo) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev cli.Response) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	next := 0
+	for {
+		lines, notify := f.snapshot(next)
+		for _, line := range lines {
+			next++
+			if !emit(cli.Response{Line: line}) {
+				return
+			}
+		}
+		select {
+		case <-f.done:
+			// Everything published happens-before done: one last drain,
+			// then the final document.
+			lines, _ := f.snapshot(next)
+			for _, line := range lines {
+				next++
+				if !emit(cli.Response{Line: line}) {
+					return
+				}
+			}
+			resp, _ := render(f, req, info)
+			emit(resp)
+			return
+		case <-notify:
+		case <-ctx.Done():
+			emit(cli.Response{Key: f.key, Error: "request canceled or timed out while the exploration was in flight"})
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, cli.Response{Error: msg})
+}

@@ -77,37 +77,56 @@ type record struct {
 }
 
 // Stats describes what Open found on disk and what the store has done
-// since.
+// since. The JSON form is part of the flexos-serve /statsz document,
+// hence the snake_case tags.
 type Stats struct {
 	// Segments is the number of healthy segment files loaded.
-	Segments int
+	Segments int `json:"segments"`
 	// Loaded counts records loaded into the index at Open.
-	Loaded int
+	Loaded int `json:"loaded"`
 	// QuarantinedFiles counts segment files skipped whole: missing,
 	// foreign or future-version headers.
-	QuarantinedFiles int
+	QuarantinedFiles int `json:"quarantined_files"`
 	// CorruptRecords counts records dropped from otherwise-healthy
 	// segments: parse failures, checksum or address mismatches, and
 	// truncated tails.
-	CorruptRecords int
+	CorruptRecords int `json:"corrupt_records"`
 	// Written counts records appended by this store handle.
-	Written int
+	Written int `json:"written"`
 }
 
-// Store is a persistent result store opened on a directory. Load and
-// Store are safe for concurrent use (they are called from the memo
-// under worker concurrency); Flush and Close are not concurrent with
-// them.
+// Store is a persistent result store opened on a directory. Every
+// method is safe for concurrent use: Load and Store are called from
+// the memo under worker concurrency, and a long-running owner (the
+// flexos-serve daemon) may Flush — or even Close — while explorations
+// are still reading and writing through. The index and the segment
+// writer are guarded separately, so a reader is never blocked behind
+// an fsync: Load takes only the index read-lock while Flush holds
+// only the writer lock. After Close the store degrades to its
+// in-memory index — Load keeps answering, Store records in memory but
+// appends nothing (it must not resurrect a segment file nobody will
+// flush again).
 type Store struct {
 	dir      string
 	readonly bool
 
-	mu    sync.Mutex
+	// mu guards the index and the load-time statistics (written only
+	// during open, before the handle is shared).
+	mu    sync.RWMutex
 	index map[string]scenario.Metrics
-	seg   *os.File
-	w     *bufio.Writer
 	stats Stats
-	err   error // first deferred write error, surfaced by Flush/Close
+
+	// wmu guards the append path: the open segment, its buffered
+	// writer, the written count, the deferred write error and the
+	// closed latch. Never held together with mu, so the two paths
+	// cannot deadlock and readers proceed during segment fsyncs.
+	wmu     sync.Mutex
+	seg     *os.File
+	w       *bufio.Writer
+	written int
+	dirty   bool // appends since the last successful flush
+	closed  bool
+	err     error // first deferred write error, surfaced by Flush/Close
 }
 
 // Open opens (creating if necessary) a store directory for reading and
@@ -238,28 +257,33 @@ func checksum(r *record) string {
 // Load returns the stored vector for a memo key. It implements
 // explore.Backing.
 func (s *Store) Load(key string) (scenario.Metrics, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	m, ok := s.index[key]
 	return m, ok
 }
 
 // Store appends one measurement (write-through from the memo) and
-// indexes it. On a read-only store it is a no-op. Write errors are
+// indexes it. On a read-only store it is a no-op; after Close it
+// indexes in memory only, never reopening a segment. Write errors are
 // deferred: they are remembered and surfaced by Flush or Close, so a
 // full disk degrades the cache rather than failing the exploration.
 // It implements explore.Backing.
 func (s *Store) Store(key string, m scenario.Metrics) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.readonly {
 		return
 	}
+	s.mu.Lock()
 	if _, dup := s.index[key]; dup {
+		s.mu.Unlock()
 		return
 	}
 	s.index[key] = m
-	if s.err != nil {
+	s.mu.Unlock()
+
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.closed || s.err != nil {
 		return
 	}
 	if s.w == nil {
@@ -280,7 +304,8 @@ func (s *Store) Store(key string, m scenario.Metrics) {
 		s.err = fmt.Errorf("store: %w", err)
 		return
 	}
-	s.stats.Written++
+	s.written++
+	s.dirty = true
 }
 
 // openSegmentLocked creates a fresh segment for this handle's appends,
@@ -307,30 +332,38 @@ func (s *Store) openSegmentLocked() error {
 }
 
 // Flush forces buffered appends to disk and reports the first deferred
-// write error.
+// write error. It holds only the writer lock, so concurrent Load and
+// Store calls proceed while the segment syncs — a long-running server
+// can flush after every request without stalling in-flight
+// explorations — and it is a no-op when nothing was appended since
+// the last flush, so warm, all-hit traffic costs no fsyncs at all.
 func (s *Store) Flush() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	return s.flushLocked()
 }
 
 func (s *Store) flushLocked() error {
-	if s.w != nil {
+	if s.w != nil && s.dirty {
 		if err := s.w.Flush(); err != nil && s.err == nil {
 			s.err = fmt.Errorf("store: %w", err)
 		}
 		if err := s.seg.Sync(); err != nil && s.err == nil {
 			s.err = fmt.Errorf("store: %w", err)
 		}
+		if s.err == nil {
+			s.dirty = false
+		}
 	}
 	return s.err
 }
 
 // Close flushes and closes the open segment. The store is unusable for
-// writing afterwards; Load keeps working off the in-memory index.
+// writing afterwards — a straggling Store call indexes in memory but
+// appends nothing — and Load keeps working off the in-memory index.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	err := s.flushLocked()
 	if s.seg != nil {
 		if cerr := s.seg.Close(); cerr != nil && err == nil {
@@ -338,20 +371,21 @@ func (s *Store) Close() error {
 		}
 		s.seg, s.w = nil, nil
 	}
+	s.closed = true
 	return err
 }
 
 // Len returns the number of indexed measurements.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.index)
 }
 
 // Keys returns every indexed memo key, sorted.
 func (s *Store) Keys() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.index))
 	for k := range s.index {
 		out = append(out, k)
@@ -362,9 +396,13 @@ func (s *Store) Keys() []string {
 
 // Stats returns a snapshot of the open/write statistics.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	s.mu.RLock()
+	st := s.stats
+	s.mu.RUnlock()
+	s.wmu.Lock()
+	st.Written = s.written
+	s.wmu.Unlock()
+	return st
 }
 
 // Dir returns the directory the store was opened on.

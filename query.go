@@ -207,6 +207,20 @@ func (q *Query) SpaceHash() string {
 	return explore.SpaceHash(q.namespaceKey(), q.space)
 }
 
+// CanonicalKey digests everything about the query that can change the
+// bytes of its result — the space identity (SpaceHash: composed memo
+// namespace plus every configuration key), the ranking metric, the
+// constraint conjunction, pruning, and the shard — into a stable
+// string. Two queries share a key exactly when Run is guaranteed to
+// produce byte-identical results for both, which is what lets a
+// serving layer (flexos-serve) coalesce concurrent requests onto one
+// engine pass. Workers, Memo, Cache and the progress hooks are
+// deliberately excluded: none of them can change a result, only
+// statistics and wall-clock time.
+func (q *Query) CanonicalKey() string {
+	return explore.CanonicalRequestKey(q.namespaceKey(), q.space, q.metric, q.constraints, q.prune, q.shard)
+}
+
 // Namespace adds a caller-defined namespace component to the memo keys
 // (e.g. a request count baked into a custom measure function). It
 // composes with — never replaces — the Workload's own namespace.
