@@ -368,6 +368,52 @@ func BenchmarkQueryCrossAppSpace(b *testing.B) {
 	}
 }
 
+// synthBenchSize is the synthetic-space size the engine benchmarks
+// sweep: 10k points, 125× the paper's 80-point Figure 6 space — the
+// scale the batch-dispatch engine and grouped safety order exist for.
+const synthBenchSize = 10_000
+
+// benchmarkQuerySynthetic sweeps the 10k-point synthetic space through
+// the Query engine. The measure function is allocation-free and a few
+// hundred ns per point, so the benchmark time is dominated by the
+// engine itself: order construction, dispatch, frontier bookkeeping.
+func benchmarkQuerySynthetic(b *testing.B, workers int, prune bool) {
+	cfgs := flexos.SynthSpace(42, synthBenchSize)
+	q := flexos.NewQuery(cfgs).
+		Measure(flexos.SynthMeasure(42)).
+		Floor(flexos.MetricThroughput, flexos.SynthMedianThroughput(42, cfgs)).
+		Workers(workers).
+		Prune(prune)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := q.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Evaluated), "evaluated")
+			b.ReportMetric(float64(res.Total), "total-configs")
+		}
+	}
+	b.ReportMetric(float64(synthBenchSize)*float64(b.N)/b.Elapsed().Seconds(), "configs/s")
+}
+
+// BenchmarkQuerySyntheticSequential is the single-worker exhaustive
+// sweep of the 10k-point synthetic space — the oracle-side cost of the
+// equivalence matrix, and the engine's sequential throughput headline.
+func BenchmarkQuerySyntheticSequential(b *testing.B) { benchmarkQuerySynthetic(b, 1, false) }
+
+// BenchmarkQuerySyntheticParallel8 fans the same sweep across eight
+// workers via batch work-stealing; results are byte-identical, so the
+// delta against Sequential is pure dispatch overhead (plus parallel
+// speedup on multi-core hosts).
+func BenchmarkQuerySyntheticParallel8(b *testing.B) { benchmarkQuerySynthetic(b, 8, false) }
+
+// BenchmarkQuerySyntheticPruned runs the pruning (safety-DAG dispatch)
+// engine over the synthetic space with a median budget, exercising the
+// coordinator's batched release path at 10k points.
+func BenchmarkQuerySyntheticPruned(b *testing.B) { benchmarkQuerySynthetic(b, 8, true) }
+
 // BenchmarkAblationMonotonicPruning quantifies design decision 4: how
 // many of the 80 measurements the explorer's monotonic pruning saves.
 func BenchmarkAblationMonotonicPruning(b *testing.B) {

@@ -14,15 +14,25 @@
 // Absolute ns/op is recorded in the baseline as a comment for human
 // eyes only.
 //
+// The guard also maintains the repo's perf trajectory: -update writes
+// the normalized table a second time as a PR-numbered JSON record
+// (BENCH_0006.json) meant to be checked in next to the baseline, and
+// guard mode fails when that record is missing or stale — i.e. when
+// someone moved baseline.txt without regenerating the record. -json
+// additionally dumps the *current run's* normalized table, which CI
+// uploads as a per-commit artifact.
+//
 // Usage:
 //
 //	go run ./cmd/benchguard            # compare against the baseline
-//	go run ./cmd/benchguard -update    # rewrite the baseline
+//	go run ./cmd/benchguard -update    # rewrite baseline + JSON record
 //	go run ./cmd/benchguard -tolerance 0.3 -benchtime 2s
+//	go run ./cmd/benchguard -json bench-table.json
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +45,11 @@ import (
 
 const reference = "BenchmarkQueryFig6Sequential"
 
+// recordID names the checked-in perf-trajectory record this tree
+// maintains; bump it when a PR re-baselines the engine benchmarks so
+// the repo history keeps one record per baseline generation.
+const recordID = "BENCH_0006"
+
 func main() {
 	update := flag.Bool("update", false, "rewrite the baseline file from this run")
 	tolerance := flag.Float64("tolerance", 0.20, "maximum allowed relative slowdown vs baseline")
@@ -45,8 +60,10 @@ func main() {
 	// back to back, so its ns/op spans two runs and carries twice the
 	// scheduling variance while adding no coverage beyond the
 	// Fig6Sequential / Fig6Parallel pair.
-	pattern := flag.String("bench", "^BenchmarkQuery(Fig6|CrossAppSpace|MemoizedSweep)", "benchmark pattern to guard")
+	pattern := flag.String("bench", "^BenchmarkQuery(Fig6|CrossAppSpace|MemoizedSweep|Synthetic)", "benchmark pattern to guard")
 	baseline := flag.String("baseline", filepath.Join("cmd", "benchguard", "baseline.txt"), "baseline file")
+	record := flag.String("record", recordID+".json", "checked-in JSON record of the baseline's normalized table (written by -update, verified fresh otherwise; empty disables)")
+	jsonOut := flag.String("json", "", "write this run's normalized table to this JSON file (CI artifact)")
 	flag.Parse()
 
 	nsop, err := runBenchmarks(*pattern, *benchtime, *count)
@@ -57,18 +74,36 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *jsonOut != "" {
+		if err := writeRecord(*jsonOut, ratios, nsop, ref); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchguard: wrote %s\n", *jsonOut)
+	}
 
 	if *update {
 		if err := writeBaseline(*baseline, ratios, nsop, ref); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("benchguard: wrote %s (%d benchmarks)\n", *baseline, len(ratios))
+		if *record != "" {
+			if err := writeRecord(*record, ratios, nsop, ref); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("benchguard: wrote %s\n", *record)
+		}
 		return
 	}
 
 	want, err := readBaseline(*baseline)
 	if err != nil {
 		fatal(fmt.Errorf("%w (run `go run ./cmd/benchguard -update` to create it)", err))
+	}
+	if *record != "" {
+		if err := verifyRecord(*record, want); err != nil {
+			fatal(fmt.Errorf("%w (run `go run ./cmd/benchguard -update` to regenerate it)", err))
+		}
+		fmt.Printf("benchguard: %s matches the baseline\n", *record)
 	}
 	var failures []string
 	for name, base := range want {
@@ -213,6 +248,97 @@ func writeBaseline(path string, ratios, nsop map[string]float64, ref float64) er
 		fmt.Fprintf(&b, "%s %.4f # %.0f ns/op\n", name, ratios[name], nsop[name])
 	}
 	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// benchRecord is the JSON shape of the checked-in perf-trajectory
+// record and of the per-run -json artifact: the full normalized table
+// plus the machine-dependent absolutes for human eyes.
+type benchRecord struct {
+	ID        string     `json:"id"`
+	Reference string     `json:"reference"`
+	// ReferenceNsOp is informational and machine-dependent; only the
+	// ratios are comparable across machines.
+	ReferenceNsOp float64    `json:"reference_ns_op"`
+	Benchmarks    []benchRow `json:"benchmarks"`
+}
+
+type benchRow struct {
+	Name  string  `json:"name"`
+	Ratio float64 `json:"ratio"`
+	NsOp  float64 `json:"ns_op"`
+}
+
+// writeRecord serializes a normalized table as a benchRecord. Ratios
+// are rounded exactly like the textual baseline's %.4f, so a record
+// written in the same -update run as a baseline verifies as fresh
+// byte-for-byte on the ratio values.
+func writeRecord(path string, ratios, nsop map[string]float64, ref float64) error {
+	names := make([]string, 0, len(ratios))
+	for name := range ratios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rec := benchRecord{ID: recordID, Reference: reference, ReferenceNsOp: ref}
+	for _, name := range names {
+		rec.Benchmarks = append(rec.Benchmarks, benchRow{
+			Name:  name,
+			Ratio: roundRatio(ratios[name]),
+			NsOp:  nsop[name],
+		})
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// verifyRecord checks the checked-in record against the baseline: it
+// must exist, carry this tree's record ID and reference, and pin
+// exactly the baseline's benchmark set at exactly the baseline's
+// ratios. Any mismatch means the record predates the current baseline
+// — stale — and the guard fails rather than letting the trajectory
+// silently drift from the gate.
+func verifyRecord(path string, baseline map[string]float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("benchguard: perf record: %w", err)
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return fmt.Errorf("benchguard: perf record %s: %w", path, err)
+	}
+	if rec.ID != recordID {
+		return fmt.Errorf("benchguard: perf record %s has id %q, want %q", path, rec.ID, recordID)
+	}
+	if rec.Reference != reference {
+		return fmt.Errorf("benchguard: perf record %s normalizes to %q, want %q", path, rec.Reference, reference)
+	}
+	got := map[string]float64{}
+	for _, row := range rec.Benchmarks {
+		got[row.Name] = row.Ratio
+	}
+	for name, base := range baseline {
+		r, ok := got[name]
+		if !ok {
+			return fmt.Errorf("benchguard: perf record %s is stale: missing %s", path, name)
+		}
+		if r != roundRatio(base) {
+			return fmt.Errorf("benchguard: perf record %s is stale: %s ratio %.4f, baseline %.4f", path, name, r, base)
+		}
+	}
+	for name := range got {
+		if _, ok := baseline[name]; !ok {
+			return fmt.Errorf("benchguard: perf record %s is stale: extra benchmark %s", path, name)
+		}
+	}
+	return nil
+}
+
+// roundRatio mirrors the baseline file's %.4f precision.
+func roundRatio(r float64) float64 {
+	v, _ := strconv.ParseFloat(fmt.Sprintf("%.4f", r), 64)
+	return v
 }
 
 func readBaseline(path string) (map[string]float64, error) {

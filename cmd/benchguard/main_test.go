@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -74,6 +75,76 @@ func TestBaselineRoundTrip(t *testing.T) {
 		if got[name] != want {
 			t.Errorf("%s = %v, want %v", name, got[name], want)
 		}
+	}
+}
+
+// TestRecordRoundTripMatchesBaseline writes a baseline and its record
+// from the same ratios, the way -update does, and requires verifyRecord
+// to accept the pair.
+func TestRecordRoundTripMatchesBaseline(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "baseline.txt")
+	recPath := filepath.Join(dir, "record.json")
+	ratios := map[string]float64{
+		"BenchmarkQueryA":          1.23456, // exercises the %.4f rounding
+		"BenchmarkQuerySyntheticB": 0.5,
+	}
+	nsop := map[string]float64{
+		"BenchmarkQueryA":          123456,
+		"BenchmarkQuerySyntheticB": 50000,
+		reference:                  100000,
+	}
+	if err := writeBaseline(basePath, ratios, nsop, 100000); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeRecord(recPath, ratios, nsop, 100000); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := readBaseline(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyRecord(recPath, baseline); err != nil {
+		t.Fatalf("fresh record rejected: %v", err)
+	}
+}
+
+// TestVerifyRecordDetectsStaleness covers every staleness shape the
+// guard must catch: a missing record file, a benchmark the baseline
+// gained, one it lost, a drifted ratio, and a foreign record ID.
+func TestVerifyRecordDetectsStaleness(t *testing.T) {
+	dir := t.TempDir()
+	recPath := filepath.Join(dir, "record.json")
+	ratios := map[string]float64{"BenchmarkQueryA": 1.5}
+	nsop := map[string]float64{"BenchmarkQueryA": 150, reference: 100}
+
+	if err := verifyRecord(filepath.Join(dir, "absent.json"), ratios); err == nil {
+		t.Fatal("missing record must fail verification")
+	}
+	if err := writeRecord(recPath, ratios, nsop, 100); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string]map[string]float64{
+		"baseline gained a benchmark": {"BenchmarkQueryA": 1.5, "BenchmarkQueryNew": 2},
+		"baseline lost a benchmark":   {},
+		"ratio drifted":               {"BenchmarkQueryA": 1.6},
+	}
+	for name, baseline := range cases {
+		if err := verifyRecord(recPath, baseline); err == nil {
+			t.Errorf("%s: verifyRecord accepted a stale record", name)
+		} else if !strings.Contains(err.Error(), "stale") && !strings.Contains(err.Error(), "missing") {
+			t.Errorf("%s: error does not name staleness: %v", name, err)
+		}
+	}
+
+	foreign := strings.Replace(recPath, "record.json", "foreign.json", 1)
+	data := `{"id":"BENCH_9999","reference":"` + reference + `","benchmarks":[{"name":"BenchmarkQueryA","ratio":1.5}]}`
+	if err := os.WriteFile(foreign, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyRecord(foreign, ratios); err == nil {
+		t.Error("foreign record ID must fail verification")
 	}
 }
 

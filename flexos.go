@@ -46,6 +46,7 @@ import (
 	"flexos/internal/ramfs"
 	"flexos/internal/scenario"
 	"flexos/internal/store"
+	"flexos/internal/synth"
 	"flexos/internal/timesys"
 	"flexos/internal/vfs"
 
@@ -364,6 +365,27 @@ func NewExploreMemo() *ExploreMemo { return explore.NewMemo() }
 // An empty mechanisms slice defaults to {intel-mpk, vm-ept}.
 func CrossAppSpace(mechanisms []string, apps ...[4]string) []*ExploreConfig {
 	return explore.CrossAppSpace(mechanisms, apps...)
+}
+
+// SynthSpace generates a deterministic pseudo-random configuration
+// space of exactly n points: a union of per-application sub-spaces
+// structurally faithful to CrossAppSpace, for exercising the
+// exploration engine at 10k–1M points. The same (seed, n) always
+// yields the same space, and SynthSpace(seed, m) is a prefix of
+// SynthSpace(seed, n) for m <= n.
+func SynthSpace(seed int64, n int) []*ExploreConfig { return synth.Space(seed, n) }
+
+// SynthMeasure returns the deterministic, allocation-free,
+// safety-monotone metric model paired with SynthSpace: a pure function
+// of (seed, configuration) suitable as a Query.Measure for synthetic
+// benchmarks and oracle-equivalence tests.
+func SynthMeasure(seed int64) func(*ExploreConfig) (Metrics, error) { return synth.Measure(seed) }
+
+// SynthMedianThroughput returns the median modeled throughput of a
+// space under SynthMeasure(seed) — a budget that prunes roughly half
+// the space.
+func SynthMedianThroughput(seed int64, cfgs []*ExploreConfig) float64 {
+	return synth.MedianThroughput(seed, cfgs)
 }
 
 // Scenarios returns the shipped multi-metric workload library, sorted

@@ -6,7 +6,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"flexos/internal/poset"
 	"flexos/internal/scenario"
 )
 
@@ -221,18 +223,124 @@ func (m *Memo) do(key string, f func() (Metrics, error)) (mx Metrics, hit bool, 
 // package) funnels into its Run method.
 type Engine struct{}
 
-// Run explores a configuration space: it builds the safety poset, fans
-// measurement across a worker pool, deduplicates identical
-// configurations (within the space, and — given a Memo — across spaces
-// and runs), prunes monotonically when asked, and extracts the safest
-// feasible configurations. The Result is byte-identical for every
-// worker count: decisions depend only on the poset, the constraints and
-// the deterministic measure function; pool scheduling only affects
-// wall-clock time.
+// outcome is one configuration's reusable measurement slot. Workers
+// write outcomes into a preallocated slot array — never through a
+// per-configuration channel send or heap allocation — and hand whole
+// spans of filled slots to the coordinator at batch granularity.
+type outcome struct {
+	metrics Metrics
+	err     error
+	hit     bool
+}
+
+// batch sizing for both dispatch modes: large enough to amortize
+// claim/handoff costs, small enough to keep the pool load-balanced and
+// decision latency low.
+const maxBatch = 64
+
+// runState is the coordinator-owned decision bookkeeping of one run.
+// The decided / valued / failsBudget frontiers are bitsets (one bit
+// per configuration, extending internal/poset's bitset currency to the
+// engine), so frontier updates and queries are allocation-free and
+// cache-dense at 10k–1M-point space sizes.
+type runState struct {
+	req    *Request
+	res    *Result
+	cfgs   []*Config
+	metric Metric
+	keys   []string
+	canon  []int32
+	twins  map[int32][]int32
+
+	decided     poset.Bitset
+	valued      poset.Bitset
+	failsBudget poset.Bitset
+	done        int
+
+	canceled bool
+	failed   bool
+	errs     []failedMeasure
+}
+
+type failedMeasure struct {
+	idx int
+	err error
+}
+
+// fill values configuration i from a measurement (fresh, memo-hit, or
+// twin-inherited) and decides it.
+func (st *runState) fill(i int, mx Metrics, cached bool) {
+	m := &st.res.Measurements[i]
+	m.Metrics = mx
+	m.Perf = st.metric.Value(mx)
+	m.Evaluated = true
+	m.Cached = cached
+	if cached {
+		st.res.MemoHits++
+	} else {
+		st.res.Evaluated++
+	}
+	st.valued.Set(i)
+	if failsMonotone(st.res.Constraints, mx) {
+		st.failsBudget.Set(i)
+	}
+	st.markDecided(i)
+}
+
+// markDecided records the decision and fires the per-decision hooks.
+func (st *runState) markDecided(i int) {
+	st.decided.Set(i)
+	st.done++
+	if st.req.Progress != nil {
+		st.req.Progress(st.done, len(st.cfgs))
+	}
+	if st.req.Observe != nil {
+		st.req.Observe(i, st.res.Measurements[i])
+	}
+}
+
+// measureOne resolves one canonical configuration: canceled-while-
+// queued check, then memo (join/backing/fresh) or a direct measure
+// call. Safe for concurrent use; the result lands in a caller-owned
+// slot, never on the heap.
+func (st *runState) measureOne(ctx context.Context, i int32, slot *outcome) {
+	if err := ctx.Err(); err != nil {
+		// Canceled while queued: report without measuring (and without
+		// planting a memo entry).
+		slot.err = err
+		return
+	}
+	if st.req.Memo != nil {
+		slot.metrics, slot.hit, slot.err = st.req.Memo.do(st.keys[i], func() (Metrics, error) {
+			return st.req.Measure(st.cfgs[i])
+		})
+		return
+	}
+	slot.metrics, slot.err = st.req.Measure(st.cfgs[i])
+}
+
+// Run explores a configuration space: it builds the grouped safety
+// order, fans measurement across a worker pool in batch-claimed chunks,
+// deduplicates identical configurations (within the space, and — given
+// a Memo — across spaces and runs), prunes monotonically when asked,
+// and extracts the safest feasible configurations. The Result is
+// byte-identical for every worker count: decisions depend only on the
+// safety order, the constraints and the deterministic measure function;
+// pool scheduling only affects wall-clock time.
 //
 // Identical configurations within one space are measured once: the
 // lowest-index occurrence measures, its twins inherit the value with
 // Cached set.
+//
+// Dispatch runs in one of two modes. When no monotone constraint can
+// prune (or pruning is off), every configuration is independently
+// measurable: workers steal fixed-size chunks of the canonical
+// measurement list off a shared atomic cursor — no per-configuration
+// channel traffic, no per-measurement allocation. When pruning is
+// active, the coordinator releases configurations in safety-DAG order
+// (a configuration is decided only after all its poset predecessors)
+// and hands them to the pool as batches; idle workers pull the next
+// batch, so load balancing survives uneven measure costs.
 //
 // Cancellation: when ctx is canceled or its deadline expires, Run stops
 // submitting measurements, waits for in-flight ones to return (measure
@@ -273,14 +381,15 @@ func (Engine) Run(ctx context.Context, req Request) (*Result, error) {
 		workers = len(cfgs)
 	}
 
-	p := Poset(cfgs)
+	n := len(cfgs)
+	order := newSpaceOrder(cfgs)
 	res := &Result{
-		Measurements: make([]Measurement, len(cfgs)),
-		Total:        len(cfgs),
+		Measurements: make([]Measurement, n),
+		Total:        n,
 		Metric:       metric,
 		Constraints:  append([]Constraint(nil), req.Constraints...),
 		Shard:        req.Shard,
-		poset:        p,
+		order:        order,
 	}
 	// Budget echoes the ranking metric's bound for legacy consumers
 	// (Result.String, single-budget callers).
@@ -294,140 +403,259 @@ func (Engine) Run(ctx context.Context, req Request) (*Result, error) {
 		res.Measurements[i].Config = c
 	}
 
-	n := len(cfgs)
-	preds := make([][]int, n)
-	succs := make([][]int, n)
-	for _, e := range p.Edges() {
-		preds[e[1]] = append(preds[e[1]], e[0])
-		succs[e[0]] = append(succs[e[0]], e[1])
-	}
-
 	// Canonical-identity groups. Only the lowest-index member of each
 	// group is measured; its twins inherit the value. Identical configs
 	// occupy the same poset position (same predecessor sets), so their
 	// pruning decisions always agree.
 	keys := make([]string, n)
-	canon := make([]int, n)
-	group := make(map[string]int, n)
+	canon := make([]int32, n)
+	var twins map[int32][]int32
+	group := make(map[string]int32, n)
 	for i, c := range cfgs {
 		keys[i] = req.Workload + "\x00" + c.Key()
 		if first, ok := group[keys[i]]; ok {
 			canon[i] = first
+			if twins == nil {
+				twins = make(map[int32][]int32)
+			}
+			twins[first] = append(twins[first], int32(i))
 		} else {
-			group[keys[i]] = i
-			canon[i] = i
+			group[keys[i]] = int32(i)
+			canon[i] = int32(i)
 		}
 	}
 
-	// Worker pool. Workers only run measure (through the memo); all
-	// scheduling state below is owned by the coordinating goroutine.
-	// Both channels are sized for the whole space, so neither submit
-	// nor completion ever blocks — which is what lets the coordinator
-	// drain cleanly on cancellation.
-	type outcome struct {
-		idx     int
-		metrics Metrics
-		hit     bool
-		err     error
+	st := &runState{
+		req:         &req,
+		res:         res,
+		cfgs:        cfgs,
+		metric:      metric,
+		keys:        keys,
+		canon:       canon,
+		twins:       twins,
+		decided:     poset.NewBitset(n),
+		valued:      poset.NewBitset(n),
+		failsBudget: poset.NewBitset(n),
 	}
-	jobs := make(chan int, n)
-	outcomes := make(chan outcome, n)
-	var wg sync.WaitGroup
+
+	// Pruning can only ever fire when a monotone constraint exists;
+	// without one, every configuration is measured regardless of DAG
+	// order, so the engine takes the flat path — no Hasse edges, no
+	// per-decision ordering, pure batch-stolen measurement.
+	if req.Prune && anyMonotone(req.Constraints) {
+		st.runDAG(ctx, order, workers)
+	} else {
+		st.runFlat(ctx, workers)
+	}
+
+	// Cancellation wins over measure errors it provoked: a cooperative
+	// measure function typically surfaces the context's error, which
+	// must not masquerade as a measurement failure. But a run whose
+	// every configuration was decided is complete — a deadline firing
+	// between the last decision and the return must not discard it.
+	if st.done < n && (st.canceled || ctx.Err() != nil) {
+		return nil, canceledError(ctx)
+	}
+	if st.failed {
+		// Report the lowest-index failure so the error is stable across
+		// worker counts when a single configuration is at fault.
+		sort.Slice(st.errs, func(a, b int) bool { return st.errs[a].idx < st.errs[b].idx })
+		o := st.errs[0]
+		c := cfgs[o.idx]
+		return nil, &MeasureError{ID: c.ID, Key: c.Key(), Label: c.Label(), Err: o.err}
+	}
+
+	res.Safest = order.safest(res)
+	if len(res.Constraints) > 0 && res.Total > 0 && len(res.Safest) == 0 {
+		return res, ErrNoFeasible
+	}
+	return res, nil
+}
+
+// runFlat measures every canonical configuration with no ordering
+// between decisions: workers claim chunks of the measurement list off a
+// shared atomic cursor (idle workers steal the next chunk as soon as
+// they finish one — chunk size adapts from maxBatch down to 1 as the
+// list drains, so the tail stays balanced), write outcomes into
+// preallocated slots, and report whole spans to the coordinator. The
+// hot loop performs no channel operation and no allocation per
+// configuration.
+func (st *runState) runFlat(ctx context.Context, workers int) {
+	list := make([]int32, 0, len(st.cfgs))
+	for i := range st.cfgs {
+		if int(st.canon[i]) == i {
+			list = append(list, int32(i))
+		}
+	}
+	if len(list) == 0 {
+		return
+	}
+	if workers > len(list) {
+		workers = len(list)
+	}
+	slots := make([]outcome, len(list))
+	spanCap := len(list)
+	if spanCap > 1024 {
+		spanCap = 1024
+	}
+	var (
+		cursor atomic.Int64
+		stop   atomic.Bool
+		spans  = make(chan [2]int32, spanCap)
+		wg     sync.WaitGroup
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				var o outcome
-				o.idx = i
-				if err := ctx.Err(); err != nil {
-					// Canceled while queued: report without measuring
-					// (and without planting a memo entry).
-					o.err = err
-				} else if req.Memo != nil {
-					o.metrics, o.hit, o.err = req.Memo.do(keys[i], func() (Metrics, error) {
-						return req.Measure(cfgs[i])
-					})
-				} else {
-					o.metrics, o.err = req.Measure(cfgs[i])
+			total := int64(len(list))
+			for !stop.Load() {
+				// Guided chunk sizing: claim 1/(4·workers) of what is
+				// left, clamped to [1, maxBatch].
+				sz := (total - cursor.Load()) / int64(4*workers)
+				if sz < 1 {
+					sz = 1
+				} else if sz > maxBatch {
+					sz = maxBatch
 				}
-				outcomes <- o
+				hi := cursor.Add(sz)
+				lo := hi - sz
+				if lo >= total {
+					return
+				}
+				if hi > total {
+					hi = total
+				}
+				for k := lo; k < hi; k++ {
+					st.measureOne(ctx, list[k], &slots[k])
+					if slots[k].err != nil {
+						// First failure winds the pool down; the spans
+						// already claimed still report, so the
+						// coordinator sees every outcome.
+						stop.Store(true)
+					}
+				}
+				spans <- [2]int32{int32(lo), int32(hi)}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(spans)
+	}()
+
+	cancelCh := ctx.Done()
+	for {
+		select {
+		case <-cancelCh:
+			st.canceled = true
+			stop.Store(true)
+			cancelCh = nil
+		case s, ok := <-spans:
+			if !ok {
+				return
+			}
+			for k := s[0]; k < s[1]; k++ {
+				i := int(list[k])
+				o := &slots[k]
+				if st.canceled {
+					continue
+				}
+				if o.err != nil {
+					st.failed = true
+					st.errs = append(st.errs, failedMeasure{idx: i, err: o.err})
+					continue
+				}
+				if st.failed {
+					continue
+				}
+				st.fill(i, o.metrics, o.hit)
+				for _, t := range st.twins[int32(i)] {
+					st.fill(int(t), o.metrics, true)
+				}
+			}
+		}
+	}
+}
+
+// runDAG measures in safety-DAG order for monotonic pruning: the
+// coordinator owns all decision state, releases a configuration only
+// when every poset predecessor is decided, accumulates ready
+// configurations into batches carved from a single arena, and hands
+// batches to the pool over a small channel with non-blocking sends (an
+// overflow queue keeps the coordinator live, so it can never deadlock
+// against workers reporting completions). Workers write outcomes into
+// slots indexed by configuration and return the batch itself as the
+// completion notice — per-configuration channel traffic and per-
+// measurement allocation are gone, which is what the batch dispatch is
+// for.
+func (st *runState) runDAG(ctx context.Context, order *spaceOrder, workers int) {
+	n := len(st.cfgs)
+	if n == 0 {
+		return
+	}
+	preds, succs := order.edges()
+	remaining := make([]int32, n)
+	for i := 0; i < n; i++ {
+		remaining[i] = int32(len(preds[i]))
+	}
+
+	var (
+		slots    = make([]outcome, n)
+		jobs     = make(chan []int32, workers*2)
+		doneCh   = make(chan []int32, workers*4)
+		wg       sync.WaitGroup
+		arena    = make([]int32, 0, n)  // every submitted index, in release order
+		flushed  = 0                    // arena[:flushed] has been batched
+		unsent   [][]int32              // batches not yet handed to the pool
+		inFlight = 0                    // configurations handed to the pool, outcome pending
+		waiters  map[int32][]int32      // twins waiting on their canonical index
+		toProp   = make([]int32, 0, 64) // decided nodes whose successors need updating
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range jobs {
+				for _, i := range b {
+					st.measureOne(ctx, i, &slots[i])
+				}
+				doneCh <- b
 			}
 		}()
 	}
 
-	var (
-		remaining   = make([]int, n) // undecided predecessors
-		failsBudget = make([]bool, n)
-		decided     = make([]bool, n)
-		valued      = make([]bool, n)  // index holds a metric vector
-		waiters     = make([][]int, n) // twins waiting on their canonical index
-		toProp      []int              // decided nodes whose successors need updating
-		inFlight    int
-		done        int
-		failed      bool
-		canceled    bool
-		errs        []outcome
-	)
-	for i := range cfgs {
-		remaining[i] = len(preds[i])
-	}
-
-	markDecided := func(i int) {
-		decided[i] = true
-		done++
-		if req.Progress != nil {
-			req.Progress(done, n)
-		}
-		if req.Observe != nil {
-			req.Observe(i, res.Measurements[i])
-		}
-		toProp = append(toProp, i)
-	}
-	fill := func(i int, mx Metrics, cached bool) {
-		m := &res.Measurements[i]
-		m.Metrics = mx
-		m.Perf = metric.Value(mx)
-		m.Evaluated = true
-		m.Cached = cached
-		if cached {
-			res.MemoHits++
-		} else {
-			res.Evaluated++
-		}
-		valued[i] = true
-		if failsMonotone(res.Constraints, mx) {
-			failsBudget[i] = true
-		}
-		markDecided(i)
-	}
 	ready := func(i int) {
-		if req.Prune {
+		if st.req.Prune {
 			for _, pr := range preds[i] {
-				if failsBudget[pr] {
-					res.Measurements[i].Pruned = true
-					failsBudget[i] = true // propagate
-					markDecided(i)
+				if st.failsBudget.Test(int(pr)) {
+					st.res.Measurements[i].Pruned = true
+					st.failsBudget.Set(i) // propagate
+					st.markDecided(i)
+					toProp = append(toProp, int32(i))
 					return
 				}
 			}
 		}
-		if c := canon[i]; c != i {
+		if c := st.canon[i]; int(c) != i {
 			// An identical twin: inherit the canonical measurement, or
 			// wait for it (twins share predecessor sets, so the
 			// canonical node is ready by now too).
-			if valued[c] {
-				fill(i, res.Measurements[c].Metrics, true)
+			if st.valued.Test(int(c)) {
+				st.fill(i, st.res.Measurements[c].Metrics, true)
+				toProp = append(toProp, int32(i))
 			} else {
-				waiters[c] = append(waiters[c], i)
+				if waiters == nil {
+					waiters = make(map[int32][]int32)
+				}
+				waiters[c] = append(waiters[c], int32(i))
 			}
 			return
 		}
-		if failed || canceled {
+		if st.failed || st.canceled {
 			return // abandoned run: stop submitting new measurements
 		}
-		inFlight++
-		jobs <- i
+		arena = append(arena, int32(i))
 	}
 	// drain processes decision consequences until quiescent: successors
 	// of decided nodes whose predecessors are now all decided become
@@ -437,78 +665,119 @@ func (Engine) Run(ctx context.Context, req Request) (*Result, error) {
 			i := toProp[0]
 			toProp = toProp[1:]
 			for _, j := range succs[i] {
-				remaining[j]--
-				if remaining[j] == 0 && !decided[j] {
-					ready(j)
+				if remaining[j]--; remaining[j] == 0 && !st.decided.Test(int(j)) {
+					ready(int(j))
 				}
 			}
 		}
 	}
+	// flush carves the newly released span of the arena into batches
+	// sized to spread across the pool, and trySend hands them over
+	// without ever blocking the coordinator.
+	flush := func() {
+		pend := len(arena) - flushed
+		if pend == 0 {
+			return
+		}
+		sz := (pend + workers - 1) / workers
+		if sz < 1 {
+			sz = 1
+		} else if sz > maxBatch {
+			sz = maxBatch
+		}
+		for flushed < len(arena) {
+			hi := flushed + sz
+			if hi > len(arena) {
+				hi = len(arena)
+			}
+			b := arena[flushed:hi:hi]
+			unsent = append(unsent, b)
+			inFlight += len(b)
+			flushed = hi
+		}
+	}
+	trySend := func() {
+		for len(unsent) > 0 {
+			select {
+			case jobs <- unsent[0]:
+				unsent = unsent[1:]
+			default:
+				return
+			}
+		}
+	}
+	abandon := func() {
+		// Batches never handed to the pool produce no outcomes; stop
+		// waiting for them.
+		for _, b := range unsent {
+			inFlight -= len(b)
+		}
+		unsent = nil
+	}
 
 	// Seed with the roots of the safety DAG, then react to completions.
-	for i := range cfgs {
+	for i := 0; i < n; i++ {
 		if remaining[i] == 0 {
 			ready(i)
 		}
 	}
 	drain()
+	flush()
+	trySend()
+
+	cancelCh := ctx.Done()
 	for inFlight > 0 {
-		var o outcome
-		if canceled || failed {
-			// Winding down: just collect what is already in flight.
-			o = <-outcomes
-		} else {
-			select {
-			case <-ctx.Done():
-				canceled = true
+		var b []int32
+		select {
+		case <-cancelCh:
+			st.canceled = true
+			cancelCh = nil
+			abandon()
+			continue
+		case b = <-doneCh:
+		}
+		for _, i32 := range b {
+			inFlight--
+			i := int(i32)
+			o := &slots[i]
+			if st.canceled {
 				continue
-			case o = <-outcomes:
 			}
+			if o.err != nil {
+				if !st.failed {
+					st.failed = true
+					abandon()
+				}
+				st.errs = append(st.errs, failedMeasure{idx: i, err: o.err})
+				continue
+			}
+			if st.failed {
+				continue
+			}
+			st.fill(i, o.metrics, o.hit)
+			toProp = append(toProp, i32)
+			for _, t := range waiters[i32] {
+				st.fill(int(t), o.metrics, true)
+				toProp = append(toProp, t)
+			}
+			delete(waiters, i32)
 		}
-		inFlight--
-		if canceled {
-			continue
-		}
-		if o.err != nil {
-			failed = true
-			errs = append(errs, o)
-			continue
-		}
-		if failed {
-			continue
-		}
-		fill(o.idx, o.metrics, o.hit)
-		for _, w := range waiters[o.idx] {
-			fill(w, o.metrics, true)
-		}
-		waiters[o.idx] = nil
 		drain()
+		flush()
+		trySend()
 	}
 	close(jobs)
 	wg.Wait()
+}
 
-	// Cancellation wins over measure errors it provoked: a cooperative
-	// measure function typically surfaces the context's error, which
-	// must not masquerade as a measurement failure. But a run whose
-	// every configuration was decided is complete — a deadline firing
-	// between the last decision and the return must not discard it.
-	if done < n && (canceled || ctx.Err() != nil) {
-		return nil, canceledError(ctx)
+// anyMonotone reports whether any constraint can drive pruning.
+func anyMonotone(cs []Constraint) bool {
+	for _, c := range cs {
+		if c.Monotone() {
+			return true
+		}
 	}
-	if failed {
-		// Report the lowest-index failure so the error is stable across
-		// worker counts when a single configuration is at fault.
-		sort.Slice(errs, func(a, b int) bool { return errs[a].idx < errs[b].idx })
-		o := errs[0]
-		c := cfgs[o.idx]
-		return nil, &MeasureError{ID: c.ID, Key: c.Key(), Label: c.Label(), Err: o.err}
-	}
-
-	res.Safest = safest(p, res)
-	if len(res.Constraints) > 0 && res.Total > 0 && len(res.Safest) == 0 {
-		return res, ErrNoFeasible
-	}
-	return res, nil
+	return false
 }
 
 // canceledError wraps ErrCanceled with the context's cause, so callers

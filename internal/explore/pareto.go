@@ -9,7 +9,12 @@ package explore
 // safer is always costlier (the §5 monotonicity assumption), so a
 // frontier over the raw order would keep every point.
 func (r *Result) SafetyLevels() []int {
-	p := r.poset
+	if r.order != nil {
+		return r.order.levels()
+	}
+	// Results not produced by the engine (hand-built in tests) fall
+	// back to grading the flat poset.
+	p := r.Poset()
 	n := p.Len()
 	level := make([]int, n)
 	succs := make([][]int, n)

@@ -91,11 +91,29 @@ type Result struct {
 	// space). Measurements and Total describe only that slice.
 	Shard Shard
 
+	// order is the engine's grouped safety order of the explored space
+	// (signatures + per-group posets); poset is the flat *Config poset
+	// some external consumers want, built lazily from the measurements
+	// on first Poset() call — the engine itself never materializes it.
+	order *spaceOrder
 	poset *poset.Poset[*Config]
 }
 
-// Poset returns the safety poset underlying the result.
-func (r *Result) Poset() *poset.Poset[*Config] { return r.poset }
+// Poset returns the safety poset underlying the result. It is built on
+// first use (the engine plans over a grouped decomposition instead, so
+// most runs never pay for the flat space-wide poset). Not safe for
+// concurrent first calls; results are normally consumed from one
+// goroutine.
+func (r *Result) Poset() *poset.Poset[*Config] {
+	if r.poset == nil {
+		cfgs := make([]*Config, len(r.Measurements))
+		for i := range r.Measurements {
+			cfgs[i] = r.Measurements[i].Config
+		}
+		r.poset = Poset(cfgs)
+	}
+	return r.poset
+}
 
 // Feasible reports whether measurement i was evaluated and satisfies
 // every constraint of the run.
@@ -206,7 +224,7 @@ func (r *Result) DOT(name string) string {
 	for _, i := range r.Safest {
 		stars[i] = true
 	}
-	return r.poset.DOT(name, func(i int, c *Config) poset.DOTNode {
+	return r.Poset().DOT(name, func(i int, c *Config) poset.DOTNode {
 		m := r.Measurements[i]
 		shade := 0.0
 		if max > 0 {

@@ -1,0 +1,88 @@
+package poset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBitsetAgainstMapOracle drives a Bitset and a map[int]bool through
+// the same random operation sequence and requires them to agree on
+// every query — the same oracle style the exploration engine's frontier
+// tests use.
+func TestBitsetAgainstMapOracle(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 200, 1000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		b := NewBitset(n)
+		oracle := map[int]bool{}
+		for step := 0; step < 2000 && n > 0; step++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				b.Set(i)
+				oracle[i] = true
+			case 1:
+				b.Clear(i)
+				delete(oracle, i)
+			case 2:
+				if b.Test(i) != oracle[i] {
+					t.Fatalf("n=%d step=%d: Test(%d) = %v, oracle %v", n, step, i, b.Test(i), oracle[i])
+				}
+			}
+		}
+		if b.Count() != len(oracle) {
+			t.Fatalf("n=%d: Count() = %d, oracle %d", n, b.Count(), len(oracle))
+		}
+		got := map[int]bool{}
+		b.ForEach(func(i int) { got[i] = true })
+		if len(got) != len(oracle) {
+			t.Fatalf("n=%d: ForEach visited %d elements, oracle %d", n, len(got), len(oracle))
+		}
+		for i := range oracle {
+			if !got[i] {
+				t.Fatalf("n=%d: ForEach missed %d", n, i)
+			}
+		}
+	}
+}
+
+func TestBitsetForEachAscending(t *testing.T) {
+	b := NewBitset(130)
+	for _, i := range []int{129, 0, 64, 63, 65, 7} {
+		b.Set(i)
+	}
+	var seen []int
+	b.ForEach(func(i int) { seen = append(seen, i) })
+	want := []int{0, 7, 63, 64, 65, 129}
+	if len(seen) != len(want) {
+		t.Fatalf("ForEach = %v, want %v", seen, want)
+	}
+	for k := range want {
+		if seen[k] != want[k] {
+			t.Fatalf("ForEach = %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestBitsetSetOps(t *testing.T) {
+	a, b := NewBitset(100), NewBitset(100)
+	a.Set(3)
+	a.Set(70)
+	b.Set(70)
+	if !a.Intersects(b) {
+		t.Fatal("a and b share 70 but Intersects is false")
+	}
+	if !a.ContainsAll(b) {
+		t.Fatal("b ⊆ a but ContainsAll is false")
+	}
+	if b.ContainsAll(a) {
+		t.Fatal("a ⊄ b but ContainsAll is true")
+	}
+	b.Clear(70)
+	if a.Intersects(b) {
+		t.Fatal("disjoint sets report Intersects")
+	}
+	a.Reset()
+	if a.Count() != 0 {
+		t.Fatalf("Count after Reset = %d", a.Count())
+	}
+}

@@ -58,9 +58,15 @@ func (p *Poset[T]) Item(i int) T { return p.items[i] }
 // Items returns the underlying slice (not a copy; do not mutate).
 func (p *Poset[T]) Items() []T { return p.items }
 
+// row exposes the i-th matrix row — the set {j : leq(i, j)} — as a
+// bitset view over the shared storage, without copying.
+func (p *Poset[T]) row(i int) Bitset {
+	return bitsetOver(p.rows[i*p.words:(i+1)*p.words], len(p.items))
+}
+
 // Leq reports whether item i is less-or-equally safe than item j.
 func (p *Poset[T]) Leq(i, j int) bool {
-	return p.rows[i*p.words+(j>>6)]&(1<<uint(j&63)) != 0
+	return p.row(i).Test(j)
 }
 
 // Comparable reports whether two items lie on a common path.
@@ -94,20 +100,13 @@ func (p *Poset[T]) Edges() [][2]int {
 	}
 	var edges [][2]int
 	for i := 0; i < n; i++ {
-		ai := above[i*w : (i+1)*w]
+		ai := bitsetOver(above[i*w:(i+1)*w], n)
 		for j := 0; j < n; j++ {
 			if i == j || !p.less(i, j) {
 				continue
 			}
-			bj := below[j*w : (j+1)*w]
-			covered := false
-			for k := 0; k < w; k++ {
-				if ai[k]&bj[k] != 0 {
-					covered = true
-					break
-				}
-			}
-			if !covered {
+			bj := bitsetOver(below[j*w:(j+1)*w], n)
+			if !ai.Intersects(bj) {
 				edges = append(edges, [2]int{i, j})
 			}
 		}
@@ -206,7 +205,6 @@ func (p *Poset[T]) TopoOrder() []int {
 // and for validating custom safety relations.
 func (p *Poset[T]) CheckOrder() error {
 	n := len(p.items)
-	w := p.words
 	for i := 0; i < n; i++ {
 		if !p.Leq(i, i) {
 			return fmt.Errorf("poset: leq not reflexive at %d", i)
@@ -215,18 +213,15 @@ func (p *Poset[T]) CheckOrder() error {
 	// Transitivity: whenever i <= j, everything above j must be above
 	// i, i.e. row(j) ⊆ row(i).
 	for i := 0; i < n; i++ {
-		ri := p.rows[i*w : (i+1)*w]
+		ri := p.row(i)
 		for j := 0; j < n; j++ {
 			if !p.Leq(i, j) {
 				continue
 			}
-			rj := p.rows[j*w : (j+1)*w]
-			for word := 0; word < w; word++ {
-				if missing := rj[word] &^ ri[word]; missing != 0 {
-					for k := word * 64; k < n; k++ {
-						if p.Leq(j, k) && !p.Leq(i, k) {
-							return fmt.Errorf("poset: leq not transitive at (%d,%d,%d)", i, j, k)
-						}
+			if !ri.ContainsAll(p.row(j)) {
+				for k := 0; k < n; k++ {
+					if p.Leq(j, k) && !p.Leq(i, k) {
+						return fmt.Errorf("poset: leq not transitive at (%d,%d,%d)", i, j, k)
 					}
 				}
 			}

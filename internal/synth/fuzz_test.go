@@ -1,0 +1,62 @@
+package synth
+
+import (
+	"testing"
+)
+
+// FuzzSpace drives the generator with arbitrary seeds and sizes and
+// checks its three contracts: determinism (same inputs → byte-identical
+// canonical keys), validity (dense IDs, non-empty blocks, unique
+// components, known mechanisms), and prefix stability (Space(seed, m)
+// is a prefix of Space(seed, n) for m < n).
+func FuzzSpace(f *testing.F) {
+	f.Add(int64(0), uint16(1))
+	f.Add(int64(42), uint16(160))
+	f.Add(int64(-1), uint16(500))
+	f.Add(int64(1<<62), uint16(1000))
+	f.Fuzz(func(t *testing.T, seed int64, n16 uint16) {
+		n := int(n16)%1500 + 1
+		cfgs := Space(seed, n)
+		if len(cfgs) != n {
+			t.Fatalf("Space(%d, %d) returned %d configs", seed, n, len(cfgs))
+		}
+		again := Space(seed, n)
+		for i, c := range cfgs {
+			if c.ID != i {
+				t.Fatalf("ID at %d is %d, want dense", i, c.ID)
+			}
+			if k := c.Key(); k != again[i].Key() || k != cfgs[i].Key() {
+				t.Fatalf("canonical key not stable at %d", i)
+			}
+			if len(c.Blocks) == 0 {
+				t.Fatalf("config %d has no blocks", i)
+			}
+			seen := map[string]bool{}
+			for _, blk := range c.Blocks {
+				if len(blk) == 0 {
+					t.Fatalf("config %d has an empty block", i)
+				}
+				for _, comp := range blk {
+					if seen[comp] {
+						t.Fatalf("config %d repeats component %q", i, comp)
+					}
+					seen[comp] = true
+				}
+			}
+			switch c.Mechanism {
+			case "intel-mpk", "vm-ept", "none":
+			default:
+				t.Fatalf("config %d has unexpected mechanism %q", i, c.Mechanism)
+			}
+		}
+		if n > 1 {
+			m := n/2 + 1
+			prefix := Space(seed, m)
+			for i := range prefix {
+				if prefix[i].Key() != cfgs[i].Key() {
+					t.Fatalf("Space(%d, %d) is not a prefix of Space(%d, %d) at %d", seed, m, seed, n, i)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package synth
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count tests skip under it.
+const raceEnabled = true
