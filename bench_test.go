@@ -414,6 +414,34 @@ func BenchmarkQuerySyntheticParallel8(b *testing.B) { benchmarkQuerySynthetic(b,
 // coordinator's batched release path at 10k points.
 func BenchmarkQuerySyntheticPruned(b *testing.B) { benchmarkQuerySynthetic(b, 8, true) }
 
+// BenchmarkQuerySyntheticBudgeted runs the budgeted branch-and-bound
+// sweep over the 10k-point space under a tight (95th-percentile)
+// monotone floor with a 2000-measurement cap — the headline budgeted
+// mode: the frontier walk decides the whole space while measuring only
+// the feasible region plus its minimal infeasible boundary.
+func BenchmarkQuerySyntheticBudgeted(b *testing.B) {
+	cfgs := flexos.SynthSpace(42, synthBenchSize)
+	q := flexos.NewQuery(cfgs).
+		Measure(flexos.SynthMeasure(42)).
+		Floor(flexos.MetricThroughput, flexos.SynthQuantileThroughput(42, cfgs, 0.95)).
+		Workers(8).
+		Prune(true).
+		MeasureBudget(2_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := q.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Measured), "measured")
+			b.ReportMetric(float64(res.Skipped), "skipped")
+			b.ReportMetric(float64(res.Total), "total-configs")
+		}
+	}
+	b.ReportMetric(float64(synthBenchSize)*float64(b.N)/b.Elapsed().Seconds(), "configs/s")
+}
+
 // BenchmarkAblationMonotonicPruning quantifies design decision 4: how
 // many of the 80 measurements the explorer's monotonic pruning saves.
 func BenchmarkAblationMonotonicPruning(b *testing.B) {

@@ -16,7 +16,7 @@
 //
 // The guard also maintains the repo's perf trajectory: -update writes
 // the normalized table a second time as a PR-numbered JSON record
-// (BENCH_0006.json) meant to be checked in next to the baseline, and
+// (BENCH_0007.json) meant to be checked in next to the baseline, and
 // guard mode fails when that record is missing or stale — i.e. when
 // someone moved baseline.txt without regenerating the record. -json
 // additionally dumps the *current run's* normalized table, which CI
@@ -48,7 +48,7 @@ const reference = "BenchmarkQueryFig6Sequential"
 // recordID names the checked-in perf-trajectory record this tree
 // maintains; bump it when a PR re-baselines the engine benchmarks so
 // the repo history keeps one record per baseline generation.
-const recordID = "BENCH_0006"
+const recordID = "BENCH_0007"
 
 func main() {
 	update := flag.Bool("update", false, "rewrite the baseline file from this run")

@@ -86,6 +86,9 @@ func main() {
 	progress := flag.Bool("progress", false, "report exploration progress on stderr")
 	stream := flag.Bool("stream", false, "print each configuration as soon as it is measured (deterministic input order)")
 	exhaustive := flag.Bool("exhaustive", false, "measure every configuration (disable monotonic pruning)")
+	budgetSpec := flag.String("measure-budget", "", "cap fresh measurements and switch to budgeted guided search: \"N\" or \"N@SEED\" (0 or empty: exhaustive)")
+	seedFlag := flag.Int64("seed", 0, "sampling seed for -measure-budget (overridden by an explicit \"N@SEED\" spec)")
+	deltaOnly := flag.Bool("delta-only", false, "re-measure only configurations absent from the store (requires -cache locally, or the daemon's store with -remote)")
 	cacheDir := flag.String("cache", "", "persistent result-store directory: load measurements from it, write fresh ones through to it")
 	cacheRO := flag.Bool("cache-readonly", false, "open -cache read-only: load from the store, never write to it")
 	shardSpec := flag.String("shard", "", "explore one deterministic slice of the space, as index/count (e.g. 0/4)")
@@ -107,12 +110,27 @@ func main() {
 		return
 	}
 
+	// The budget spec "N@SEED" carries its own seed; a bare "N" takes
+	// the -seed flag (default 0).
+	measureBudget, seed := 0, *seedFlag
+	if *budgetSpec != "" {
+		b, s, hasSeed, err := cli.ParseBudgetSpec(*budgetSpec)
+		if err != nil {
+			fatal(2, err)
+		}
+		measureBudget = b
+		if hasSeed {
+			seed = s
+		}
+	}
+
 	// Assemble the request — the same serializable form a flexos-serve
 	// daemon accepts, so the local and -remote paths cannot drift.
 	creq := cli.Request{
 		App: *app, Scenario: *scenarioName, Requests: *requests, Ops: *ops,
 		Metric: *metricName, Budgets: budgets,
 		Pareto: *pareto, Exhaustive: *exhaustive, Verbose: *verbose,
+		MeasureBudget: measureBudget, Seed: seed, DeltaOnly: *deltaOnly,
 		Stream: *stream, Shard: *shardSpec, Workers: *workers,
 		TimeoutMs: int(timeout.Milliseconds()),
 	}
@@ -138,6 +156,9 @@ func main() {
 		}
 		runRemote(ctx, *remote, creq)
 		return
+	}
+	if *deltaOnly && *cacheDir == "" {
+		fatal(2, errors.New("-delta-only needs a store to diff against: add -cache (or -remote, to diff against the daemon's store)"))
 	}
 	if *cacheDir != "" {
 		if *cacheRO {

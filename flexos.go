@@ -388,6 +388,14 @@ func SynthMedianThroughput(seed int64, cfgs []*ExploreConfig) float64 {
 	return synth.MedianThroughput(seed, cfgs)
 }
 
+// SynthQuantileThroughput returns the q-quantile of a space's modeled
+// throughput under SynthMeasure(seed). High quantiles make tight
+// monotone floors for budgeted branch-and-bound sweeps, where pruning
+// pays off most.
+func SynthQuantileThroughput(seed int64, cfgs []*ExploreConfig, q float64) float64 {
+	return synth.QuantileThroughput(seed, cfgs, q)
+}
+
 // Scenarios returns the shipped multi-metric workload library, sorted
 // by name: Redis GET/SET ratios and pipelining, Nginx static/keepalive
 // mixes, iPerf stream counts, SQLite transaction batches.

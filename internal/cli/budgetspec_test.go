@@ -1,0 +1,89 @@
+package cli
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestParseBudgetSpec pins the -measure-budget syntax: "N" and
+// "N@SEED", whitespace-tolerant, budget 0 normalizing the seed away,
+// and everything else rejected.
+func TestParseBudgetSpec(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		budget  int
+		seed    int64
+		hasSeed bool
+		ok      bool
+	}{
+		{"2000", 2000, 0, false, true},
+		{"2000@7", 2000, 7, true, true},
+		{"1@-3", 1, -3, true, true},
+		{" 500 @ 11 ", 500, 11, true, true},
+		{"0", 0, 0, false, true},
+		{"0@9", 0, 0, false, true}, // no budget: the seed is meaningless
+		{"", 0, 0, false, false},
+		{"@7", 0, 0, false, false},
+		{"2000@", 0, 0, false, false},
+		{"-1", 0, 0, false, false},
+		{"-1@7", 0, 0, false, false},
+		{"2e3", 0, 0, false, false},
+		{"2000@x", 0, 0, false, false},
+		{"2000@7@9", 0, 0, false, false},
+		{"budget", 0, 0, false, false},
+	} {
+		budget, seed, hasSeed, err := ParseBudgetSpec(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseBudgetSpec(%q): err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && (budget != tc.budget || seed != tc.seed || hasSeed != tc.hasSeed) {
+			t.Errorf("ParseBudgetSpec(%q) = (%d, %d, %v), want (%d, %d, %v)",
+				tc.in, budget, seed, hasSeed, tc.budget, tc.seed, tc.hasSeed)
+		}
+	}
+}
+
+// FuzzParseBudgetSpec asserts the flag parser's safety contract on
+// arbitrary input: it never panics, never accepts a negative budget,
+// normalizes budget 0 to the seedless form, and accepts its own
+// canonical rendering as a fixpoint.
+func FuzzParseBudgetSpec(f *testing.F) {
+	// Seed the corpus from the same configs/*.yaml-derived requests the
+	// codec fuzzer mutates, rendered into budget-spec shapes.
+	for i, seed := range configDerivedSeeds(f) {
+		f.Add(fmt.Sprintf("%d", len(seed)))
+		f.Add(fmt.Sprintf("%d@%d", len(seed), i))
+	}
+	f.Add("2000")
+	f.Add("2000@7")
+	f.Add(" 500 @ -11 ")
+	f.Add("0@9")
+	f.Add("@")
+	f.Add("9223372036854775807@-9223372036854775808")
+	f.Fuzz(func(t *testing.T, s string) {
+		budget, seed, hasSeed, err := ParseBudgetSpec(s)
+		if err != nil {
+			return
+		}
+		if budget < 0 {
+			t.Fatalf("ParseBudgetSpec(%q) accepted negative budget %d", s, budget)
+		}
+		if budget == 0 && (seed != 0 || hasSeed) {
+			t.Fatalf("ParseBudgetSpec(%q) kept seed %d (hasSeed=%v) without a budget", s, seed, hasSeed)
+		}
+		canon := fmt.Sprintf("%d", budget)
+		if hasSeed {
+			canon = fmt.Sprintf("%d@%d", budget, seed)
+		}
+		b2, s2, h2, err := ParseBudgetSpec(canon)
+		if err != nil || b2 != budget || s2 != seed || h2 != hasSeed {
+			t.Fatalf("canonical form %q of %q does not re-parse to (%d, %d, %v): (%d, %d, %v, %v)",
+				canon, s, budget, seed, hasSeed, b2, s2, h2, err)
+		}
+		if strings.TrimSpace(s) == "" {
+			t.Fatalf("ParseBudgetSpec(%q) accepted blank input", s)
+		}
+	})
+}

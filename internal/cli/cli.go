@@ -122,6 +122,36 @@ func ParseBudgets(budgets []string, metric flexos.Metric) ([]flexos.ExploreConst
 	return out, nil
 }
 
+// ParseBudgetSpec parses the -measure-budget flag syntax: "N" caps the
+// run at N fresh measurements with the default seed, "N@SEED" pins the
+// sampling seed as well (e.g. "2000@7"). N must be a non-negative
+// integer (0 disables the budget); SEED any int64. hasSeed reports
+// whether the spec carried an explicit seed, so a separate -seed flag
+// can fill the default without clobbering an explicit "@SEED".
+func ParseBudgetSpec(s string) (budget int, seed int64, hasSeed bool, err error) {
+	spec := strings.TrimSpace(s)
+	num := spec
+	if at := strings.IndexByte(spec, '@'); at >= 0 {
+		num = spec[:at]
+		seed, err = strconv.ParseInt(strings.TrimSpace(spec[at+1:]), 10, 64)
+		if err != nil {
+			return 0, 0, false, fmt.Errorf("measure-budget %q: bad seed: %v", s, err)
+		}
+		hasSeed = true
+	}
+	budget, err = strconv.Atoi(strings.TrimSpace(num))
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("measure-budget %q: want \"N\" or \"N@SEED\": %v", s, err)
+	}
+	if budget < 0 {
+		return 0, 0, false, fmt.Errorf("measure-budget %q: budget must be >= 0", s)
+	}
+	if budget == 0 {
+		seed, hasSeed = 0, false // no budget: the seed is meaningless
+	}
+	return budget, seed, hasSeed, nil
+}
+
 // ValidateScalar rejects option combinations a scalar -app space
 // cannot serve: the -app benchmarks measure only throughput, so a
 // frontier over the latency/memory axes, a non-throughput ranking, or
@@ -221,15 +251,19 @@ func RenderReport(title string, res *flexos.ExploreResult, constraints []flexos.
 // an exploration outcome that is *not* covered by the byte-identity
 // guarantee and therefore travels separately from the report.
 type RunStats struct {
-	Evaluated int    `json:"evaluated"`
-	MemoHits  int    `json:"memo_hits"`
-	Pruned    int    `json:"pruned"`
-	Shard     string `json:"shard,omitempty"`
+	Evaluated int `json:"evaluated"`
+	MemoHits  int `json:"memo_hits"`
+	Pruned    int `json:"pruned"`
+	// Skipped counts configurations a budgeted or delta run decided
+	// without a value (beyond the measurement budget, or already in
+	// the store); always 0 for exhaustive runs.
+	Skipped int    `json:"skipped,omitempty"`
+	Shard   string `json:"shard,omitempty"`
 }
 
 // StatsOf extracts the run statistics from an exploration result.
 func StatsOf(res *flexos.ExploreResult) RunStats {
-	st := RunStats{Evaluated: res.Evaluated, MemoHits: res.MemoHits, Shard: res.Shard.String()}
+	st := RunStats{Evaluated: res.Evaluated, MemoHits: res.MemoHits, Skipped: res.Skipped, Shard: res.Shard.String()}
 	for i := range res.Measurements {
 		if res.Measurements[i].Pruned {
 			st.Pruned++
@@ -248,8 +282,12 @@ func (st RunStats) Print(w io.Writer, prog string) {
 	if st.Shard != "" {
 		shard = " shard " + st.Shard
 	}
-	fmt.Fprintf(w, "%s:%s evaluated %d, cache/memo hits %d, pruned %d (cache hit rate %.1f%%)\n",
-		prog, shard, st.Evaluated, st.MemoHits, st.Pruned, rate)
+	skipped := ""
+	if st.Skipped > 0 {
+		skipped = fmt.Sprintf(", skipped %d", st.Skipped)
+	}
+	fmt.Fprintf(w, "%s:%s evaluated %d, cache/memo hits %d, pruned %d%s (cache hit rate %.1f%%)\n",
+		prog, shard, st.Evaluated, st.MemoHits, st.Pruned, skipped, rate)
 }
 
 // PrintStats writes the run statistics that legally differ between

@@ -45,6 +45,17 @@ type Request struct {
 	// measured configuration, mirroring Query.Stream order) instead of
 	// a single complete response.
 	Stream bool `json:"stream,omitempty"`
+	// MeasureBudget caps the fresh measurements of the run and selects
+	// budgeted guided search (0: exhaustive); Seed drives its sampling
+	// order and is meaningless — normalized to 0 — without a budget.
+	// Both join the canonical key: requests differing only in budget or
+	// seed decide different configurations and must not coalesce.
+	MeasureBudget int   `json:"measure_budget,omitempty"`
+	Seed          int64 `json:"seed,omitempty"`
+	// DeltaOnly re-measures only configurations absent from the
+	// daemon's store, skipping the rest (delta re-exploration).
+	// Incompatible with MeasureBudget.
+	DeltaOnly bool `json:"delta_only,omitempty"`
 	// Shard restricts the run to one deterministic slice of the space,
 	// in the CLI "index/count" syntax.
 	Shard string `json:"shard,omitempty"`
@@ -79,7 +90,9 @@ type BuildInfo struct {
 	// budget conjunction, in request order (rendering order).
 	Metric      flexos.Metric
 	Constraints []flexos.ExploreConstraint
-	// Prune echoes the derived pruning choice (!Exhaustive && !Pareto).
+	// Prune echoes the derived pruning choice: on unless Exhaustive, or
+	// Pareto without a measurement budget (a budgeted run prunes under
+	// -pareto too — branch-and-bound is how it finds the frontier).
 	Prune bool
 }
 
@@ -109,6 +122,12 @@ func (r *Request) Normalize() {
 	}
 	if r.Workers < 0 {
 		r.Workers = 0
+	}
+	if r.MeasureBudget < 0 {
+		r.MeasureBudget = 0
+	}
+	if r.MeasureBudget == 0 {
+		r.Seed = 0 // an unbudgeted run ignores the seed; encode the two alike
 	}
 	if r.Ops < 0 {
 		r.Ops = 0
@@ -141,11 +160,24 @@ func (r *Request) Build() (*flexos.Query, *BuildInfo, error) {
 	if err := ValidateScalar(scenarioMode, metric, constraints, r.Pareto); err != nil {
 		return nil, nil, err
 	}
+	if r.DeltaOnly && r.MeasureBudget > 0 {
+		return nil, nil, errors.New("delta_only and measure_budget are mutually exclusive")
+	}
 	for _, c := range constraints {
 		q.Constrain(c.Metric, c.Op, c.Bound)
 	}
-	prune := !r.Exhaustive && !r.Pareto
+	// -pareto normally disables pruning so the frontier ranks the full
+	// space; a budgeted run never measures the full space anyway, and
+	// branch-and-bound is precisely what finds the frontier within
+	// budget — so the budget wins the derivation.
+	prune := !r.Exhaustive && (!r.Pareto || r.MeasureBudget > 0)
 	q.RankBy(metric).Workers(r.Workers).Prune(prune)
+	if r.MeasureBudget > 0 {
+		q.MeasureBudget(r.MeasureBudget).Seed(r.Seed)
+	}
+	if r.DeltaOnly {
+		q.DeltaOnly()
+	}
 	if r.Shard != "" {
 		sh, err := flexos.ParseShard(r.Shard)
 		if err != nil {

@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"fmt"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -87,6 +88,7 @@ func TestCanonicalKeyInvariants(t *testing.T) {
 		{Scenario: "redis-get90", TimeoutMs: 5000},
 		{Scenario: "redis-get90", Budgets: []string{"500000"}},              // the implicit default, spelled out
 		{Scenario: "redis-get90", Budgets: []string{"throughput>=500000"}}, // full spelling
+		{Scenario: "redis-get90", Seed: 9}, // without a budget the seed is dead weight
 	}
 	for _, r := range same {
 		if key(r) != key(base) {
@@ -107,15 +109,26 @@ func TestCanonicalKeyInvariants(t *testing.T) {
 		{Scenario: "redis-get90", Metric: "p99", Budgets: []string{"p99<=3"}},
 		{Scenario: "redis-get90", Exhaustive: true}, // pruning changes decided sets
 		{Scenario: "redis-get90", Shard: "0/2"},
+		{Scenario: "redis-get90", MeasureBudget: 500},          // a budgeted run decides less
+		{Scenario: "redis-get90", MeasureBudget: 200},          // ... and a different cap, differently
+		{Scenario: "redis-get90", MeasureBudget: 500, Seed: 1}, // the seed picks the sample
+		{Scenario: "redis-get90", MeasureBudget: 500, Seed: 2},
+		{Scenario: "redis-get90", DeltaOnly: true}, // a delta run reports only the store-absent slice
 		{App: "redis"},
 	}
 	seen := map[string]string{key(base): "base"}
-	for _, r := range distinct {
+	for i, r := range distinct {
 		k := key(r)
 		if prev, dup := seen[k]; dup {
 			t.Errorf("%+v collides with %s; these must not coalesce", r, prev)
 		}
-		seen[k] = r.Scenario + r.App
+		seen[k] = fmt.Sprintf("distinct[%d]", i)
+	}
+	// Scheduling knobs still coalesce on a budgeted request: the
+	// (budget, seed) pair pins result bytes at every worker count.
+	if key(Request{Scenario: "redis-get90", MeasureBudget: 500, Seed: 1}) !=
+		key(Request{Scenario: "redis-get90", MeasureBudget: 500, Seed: 1, Workers: 8, Verbose: true}) {
+		t.Error("workers/verbose split a budgeted flight; byte-identity across worker counts makes them coalescible")
 	}
 }
 

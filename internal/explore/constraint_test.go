@@ -1,206 +1,14 @@
 package explore
 
 import (
-	"context"
-	"errors"
-	"math/rand"
-	"reflect"
 	"testing"
 
 	"flexos/internal/scenario"
 )
 
-// Property tests for multi-constraint semantics: feasibility under
-// several simultaneous constraints must be the intersection of the
-// single-constraint feasible sets, and pruning must stay sound with
-// mixed floor/ceiling constraints — all verified against a brute-force
-// (exhaustive, unpruned) oracle on random spaces.
-
-// randomVectorMeasure derives a safety-monotone metric-vector measure
-// with random positive weights: throughput falls and every cost metric
-// rises as configurations get safer, matching the engine's pruning
-// assumption, like monotoneMeasure does for scalars.
-func randomVectorMeasure(rng *rand.Rand) MeasureMetrics {
-	scalar := monotoneMeasure(rng)
-	latW := float64(rng.Intn(900)+100) / 1e6
-	memW := uint64(rng.Intn(40) + 1)
-	bootW := uint64(rng.Intn(20) + 1)
-	return func(c *Config) (Metrics, error) {
-		v, err := scalar(c)
-		if err != nil {
-			return Metrics{}, err
-		}
-		cost := 100_000 - v // >= 0 by construction
-		return Metrics{
-			Throughput:   v,
-			P50us:        1 + cost*latW,
-			P99us:        2 + cost*latW*2,
-			MaxUs:        3 + cost*latW*4,
-			PeakMemBytes: 1000 + uint64(cost)*memW,
-			BootCycles:   500 + uint64(cost)*bootW,
-			Cycles:       uint64(cost) + 1,
-			Ops:          1,
-		}, nil
-	}
-}
-
-// quantile picks a bound inside the observed range of a metric so
-// constraints are neither trivially empty nor trivially full.
-func quantile(vals []float64, q float64) float64 {
-	s := append([]float64(nil), vals...)
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
-	i := int(q * float64(len(s)-1))
-	return s[i]
-}
-
-// randomConstraint builds a constraint on a random metric with a bound
-// drawn from the oracle's measured distribution. Mixing directions is
-// the point: half the time the natural (prunable) direction, half the
-// time the unnatural one.
-func randomConstraint(rng *rand.Rand, oracle *Result) Constraint {
-	metrics := []Metric{
-		scenario.MetricThroughput, scenario.MetricP50, scenario.MetricP99,
-		scenario.MetricMax, scenario.MetricPeakMem, scenario.MetricBoot,
-	}
-	m := metrics[rng.Intn(len(metrics))]
-	vals := make([]float64, 0, len(oracle.Measurements))
-	for _, mm := range oracle.Measurements {
-		vals = append(vals, m.Value(mm.Metrics))
-	}
-	op := NaturalOp(m)
-	if rng.Intn(2) == 0 {
-		if op == AtLeast {
-			op = AtMost
-		} else {
-			op = AtLeast
-		}
-	}
-	return Constraint{Metric: m, Op: op, Bound: quantile(vals, 0.25+rng.Float64()/2)}
-}
-
-// feasibleSet derives the feasible indices of an exhaustively-measured
-// oracle under a constraint list.
-func feasibleSet(oracle *Result, cs []Constraint) map[int]bool {
-	out := make(map[int]bool)
-	for i, m := range oracle.Measurements {
-		if meetsAll(cs, m.Metrics) {
-			out[i] = true
-		}
-	}
-	return out
-}
-
-// TestMultiConstraintIsIntersection: for random spaces and random
-// constraint pairs A, B, the feasible set of Constrain(A).Constrain(B)
-// equals the intersection of the single-constraint feasible sets, and
-// the engine's Safest equals the constraint-filtered maximal elements
-// derived from the brute-force oracle.
-func TestMultiConstraintIsIntersection(t *testing.T) {
-	for seed := int64(100); seed < 115; seed++ {
-		rng := rand.New(rand.NewSource(seed))
-		cfgs := randomSpace(rng, 50)
-		measure := randomVectorMeasure(rng)
-
-		oracle, err := Engine{}.Run(context.Background(), Request{Space: cfgs, Measure: measure})
-		if err != nil {
-			t.Fatalf("seed %d: oracle: %v", seed, err)
-		}
-		a := randomConstraint(rng, oracle)
-		b := randomConstraint(rng, oracle)
-
-		run := func(cs ...Constraint) *Result {
-			res, err := Engine{}.Run(context.Background(), Request{
-				Space: randomSpaceCopy(cfgs), Measure: measure, Constraints: cs, Workers: 4})
-			if err != nil && !errors.Is(err, ErrNoFeasible) {
-				t.Fatalf("seed %d %v: %v", seed, cs, err)
-			}
-			return res
-		}
-		resA, resB, resAB := run(a), run(b), run(a, b)
-
-		setA, setB := feasibleSet(oracle, []Constraint{a}), feasibleSet(oracle, []Constraint{b})
-		for i := range cfgs {
-			wantA, wantB := setA[i], setB[i]
-			if resA.Feasible(i) != wantA || resB.Feasible(i) != wantB {
-				t.Fatalf("seed %d: config %d single-constraint feasibility diverges from oracle", seed, i)
-			}
-			if got, want := resAB.Feasible(i), wantA && wantB; got != want {
-				t.Fatalf("seed %d: config %d: Feasible(A∧B)=%t, intersection=%t (A=%v B=%v)",
-					seed, i, got, want, a, b)
-			}
-		}
-		// Safest must be the maximal elements of the intersection.
-		wantSafest := safestFromOracle(oracle, []Constraint{a, b})
-		if !reflect.DeepEqual(resAB.Safest, wantSafest) {
-			t.Fatalf("seed %d: safest %v, oracle %v (A=%v B=%v)", seed, resAB.Safest, wantSafest, a, b)
-		}
-	}
-}
-
-// safestFromOracle recomputes the constraint-filtered maximal elements
-// from an exhaustive oracle run.
-func safestFromOracle(oracle *Result, cs []Constraint) []int {
-	clone := *oracle
-	clone.Constraints = cs
-	return safest(oracle.Poset(), &clone)
-}
-
-// TestMixedConstraintPruningSoundVsBruteForce: with pruning enabled and
-// a mix of natural (prunable) and unnatural constraints, the engine
-// must (a) never prune a configuration the oracle deems feasible,
-// (b) report exactly the oracle's safest set, and (c) agree with
-// itself byte-for-byte across worker counts.
-func TestMixedConstraintPruningSoundVsBruteForce(t *testing.T) {
-	for seed := int64(200); seed < 215; seed++ {
-		rng := rand.New(rand.NewSource(seed))
-		cfgs := randomSpace(rng, 50)
-		measure := randomVectorMeasure(rng)
-
-		oracle, err := Engine{}.Run(context.Background(), Request{Space: cfgs, Measure: measure})
-		if err != nil {
-			t.Fatalf("seed %d: oracle: %v", seed, err)
-		}
-		ncons := rng.Intn(3) + 1
-		var cs []Constraint
-		for i := 0; i < ncons; i++ {
-			cs = append(cs, randomConstraint(rng, oracle))
-		}
-		feas := feasibleSet(oracle, cs)
-		wantSafest := safestFromOracle(oracle, cs)
-
-		var wantDump string
-		for _, workers := range []int{1, 4, 8} {
-			res, err := Engine{}.Run(context.Background(), Request{
-				Space: randomSpaceCopy(cfgs), Measure: measure, Constraints: cs,
-				Workers: workers, Prune: true})
-			if err != nil && !errors.Is(err, ErrNoFeasible) {
-				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
-			}
-			for i, m := range res.Measurements {
-				if m.Pruned && feas[i] {
-					t.Fatalf("seed %d workers %d: pruned feasible config %d under %v",
-						seed, workers, i, cs)
-				}
-				if m.Evaluated && m.Metrics != oracle.Measurements[i].Metrics {
-					t.Fatalf("seed %d workers %d: config %d vector diverges from oracle", seed, workers, i)
-				}
-			}
-			if !reflect.DeepEqual(res.Safest, wantSafest) {
-				t.Fatalf("seed %d workers %d: safest %v, oracle %v under %v",
-					seed, workers, res.Safest, wantSafest, cs)
-			}
-			if wantDump == "" {
-				wantDump = dump(res)
-			} else if d := dump(res); d != wantDump {
-				t.Fatalf("seed %d workers %d: pruned multi-constraint run not deterministic", seed, workers)
-			}
-		}
-	}
-}
+// Unit tests for the constraint syntax and semantics. The
+// multi-constraint property tests against the brute-force oracle live
+// in constraint_property_test.go, written on the exploretest harness.
 
 func TestParseConstraint(t *testing.T) {
 	good := map[string]Constraint{

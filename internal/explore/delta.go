@@ -1,0 +1,34 @@
+package explore
+
+import "context"
+
+// runDelta is the delta re-exploration dispatch mode: after a space is
+// edited (configurations added, removed, or retuned), only the
+// configurations whose canonical identity is absent from the memo and
+// its backing store are measured — the present ones are skipped
+// without even loading their vectors. The fresh measurements write
+// through to the backing as usual, so the store afterwards covers the
+// edited space and a plain warm run produces the full merged report.
+//
+// The skip pass runs in input order on the coordinator, so Progress /
+// Observe see one deterministic prefix-free sequence regardless of the
+// worker count; the absent configurations then measure on the ordinary
+// flat pool.
+func (st *runState) runDelta(ctx context.Context, workers int) {
+	n := len(st.cfgs)
+	present := make(map[int32]bool)
+	for i := 0; i < n; i++ {
+		if c := st.canon[i]; int(c) == i && st.req.Memo.peek(st.keys[i]) {
+			present[c] = true
+		}
+	}
+	list := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if present[st.canon[i]] {
+			st.skip(i)
+		} else if int(st.canon[i]) == i {
+			list = append(list, int32(i))
+		}
+	}
+	st.runList(ctx, workers, list)
+}

@@ -98,6 +98,48 @@ type Request struct {
 	// Workload namespaces memo keys (e.g. "redis-get90/240").
 	Workload string
 
+	// MeasureBudget, when > 0, caps the number of fresh measure calls
+	// the run may spend and switches the engine to budgeted guided
+	// search. With Prune set and a monotone constraint present, the
+	// budget drives a branch-and-bound sweep of the grouped safety
+	// posets: one measurement failing a monotone floor prunes its
+	// entire undecided up-set before measuring it, so the budget is
+	// spent only on the feasible region and its minimal infeasible
+	// boundary — a sweep that completes within budget reports exactly
+	// what the exhaustive pruned run would, byte for byte. Without a
+	// prunable constraint the budget drives seeded successive-halving
+	// ranked sampling instead. Configurations the budget never reaches
+	// are skipped (neither evaluated nor pruned) and counted in
+	// Result.Skipped. Memo and backing hits are free — they never
+	// consume budget — so warm budgeted runs decide strictly more than
+	// cold ones. For a fixed (MeasureBudget, Seed) pair results are
+	// byte-identical at every worker count, and every reported
+	// measurement also appears, bit-for-bit, in the exhaustive run's
+	// result.
+	MeasureBudget int
+
+	// Seed drives the successive-halving sampling order: candidate
+	// priority is a splittable PRNG stream over canonical
+	// configuration keys, so the sampled subset depends only on
+	// (Seed, MeasureBudget) and the space — never on worker count or
+	// completion order. Ignored unless MeasureBudget > 0; the
+	// branch-and-bound sweep (Prune with a monotone constraint) is
+	// deterministic without sampling, so there Seed does not change
+	// the result.
+	Seed int64
+
+	// DeltaOnly, when set, re-explores only the configurations whose
+	// canonical identity is absent from the Memo (including its
+	// backing store): present keys are skipped without loading, and
+	// counted in Result.Skipped. This is delta re-exploration — after
+	// editing a space, re-measure exactly the changed points and merge
+	// the store for a full warm report. Requires a Memo; incompatible
+	// with MeasureBudget. Pruning is ignored (the skipped keys already
+	// carry values, so there is nothing for a prune to save), and a
+	// delta run never returns ErrNoFeasible — its report only covers
+	// the re-measured slice of the space.
+	DeltaOnly bool
+
 	// Shard, when non-zero, restricts the run to one deterministic
 	// slice of Space: the Index-th of Count order-preserving,
 	// non-overlapping contiguous partitions of the canonical
@@ -217,6 +259,24 @@ func (m *Memo) do(key string, f func() (Metrics, error)) (mx Metrics, hit bool, 
 	return e.metrics, false, e.err
 }
 
+// peek reports whether key is already resolvable without measuring:
+// an in-memory entry (including one in flight) or a backing-store
+// record. Unlike do, a backing hit is not promoted into the in-memory
+// tier — peek is a pure presence probe, used by delta re-exploration
+// to decide what to skip.
+func (m *Memo) peek(key string) bool {
+	m.mu.Lock()
+	_, ok := m.entries[key]
+	m.mu.Unlock()
+	if ok {
+		return true
+	}
+	if m.backing != nil {
+		_, ok = m.backing.Load(key)
+	}
+	return ok
+}
+
 // Engine is the one exploration engine. It is stateless — the zero
 // value is ready to use — and every public exploration surface (the
 // flexos.Query builder, the deprecated Run* wrappers, the figures
@@ -279,11 +339,20 @@ func (st *runState) fill(i int, mx Metrics, cached bool) {
 		st.res.MemoHits++
 	} else {
 		st.res.Evaluated++
+		st.res.Measured++
 	}
 	st.valued.Set(i)
 	if failsMonotone(st.res.Constraints, mx) {
 		st.failsBudget.Set(i)
 	}
+	st.markDecided(i)
+}
+
+// skip decides configuration i without a value: the budget never
+// reached it (budgeted search) or its key is already stored (delta
+// re-exploration). The measurement stays unevaluated and unpruned.
+func (st *runState) skip(i int) {
+	st.res.Skipped++
 	st.markDecided(i)
 }
 
@@ -356,6 +425,17 @@ func (st *runState) measureOne(ctx context.Context, i int32, slot *outcome) {
 func (Engine) Run(ctx context.Context, req Request) (*Result, error) {
 	if req.Measure == nil {
 		return nil, errors.New("explore: request has no measure function")
+	}
+	if req.MeasureBudget < 0 {
+		req.MeasureBudget = 0
+	}
+	if req.DeltaOnly {
+		if req.MeasureBudget > 0 {
+			return nil, errors.New("explore: DeltaOnly and MeasureBudget are mutually exclusive")
+		}
+		if req.Memo == nil {
+			return nil, errors.New("explore: DeltaOnly requires a Memo (usually a backed one)")
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, canceledError(ctx)
@@ -441,10 +521,16 @@ func (Engine) Run(ctx context.Context, req Request) (*Result, error) {
 	// Pruning can only ever fire when a monotone constraint exists;
 	// without one, every configuration is measured regardless of DAG
 	// order, so the engine takes the flat path — no Hasse edges, no
-	// per-decision ordering, pure batch-stolen measurement.
-	if req.Prune && anyMonotone(req.Constraints) {
+	// per-decision ordering, pure batch-stolen measurement. A budget
+	// or a delta request selects the guided modes instead.
+	switch {
+	case req.DeltaOnly:
+		st.runDelta(ctx, workers)
+	case req.MeasureBudget > 0:
+		st.runBudgeted(ctx, order, workers)
+	case req.Prune && anyMonotone(req.Constraints):
 		st.runDAG(ctx, order, workers)
-	} else {
+	default:
 		st.runFlat(ctx, workers)
 	}
 
@@ -466,7 +552,10 @@ func (Engine) Run(ctx context.Context, req Request) (*Result, error) {
 	}
 
 	res.Safest = order.safest(res)
-	if len(res.Constraints) > 0 && res.Total > 0 && len(res.Safest) == 0 {
+	// A delta run's report deliberately covers only the re-measured
+	// slice of the space; an empty Safest there means "nothing new was
+	// both measured and feasible", not infeasibility.
+	if len(res.Constraints) > 0 && res.Total > 0 && len(res.Safest) == 0 && !req.DeltaOnly {
 		return res, ErrNoFeasible
 	}
 	return res, nil
@@ -487,6 +576,14 @@ func (st *runState) runFlat(ctx context.Context, workers int) {
 			list = append(list, int32(i))
 		}
 	}
+	st.runList(ctx, workers, list)
+}
+
+// runList is runFlat's engine room over an explicit canonical
+// measurement list: the flat path passes every canonical index, delta
+// re-exploration passes only the store-absent ones. Twins of each
+// listed index are filled alongside it.
+func (st *runState) runList(ctx context.Context, workers int, list []int32) {
 	if len(list) == 0 {
 		return
 	}

@@ -1,150 +1,22 @@
-package explore
+package explore_test
 
 import (
-	"fmt"
+	"errors"
 	"math/rand"
 	"runtime"
 	"sort"
-	"strings"
 	"testing"
+
+	"flexos/internal/explore"
+	"flexos/internal/explore/exploretest"
 )
 
-// Property tests for the bitset-frontier engine: a reference explorer
-// that keeps its decided / valued / budget-violation frontiers in plain
-// maps (the representation the engine had before bitsets) and walks the
-// full allocating Leq poset must agree with Engine.Run byte for byte —
-// same measurements, same prune decisions, same safest set — on random
-// spaces, random budgets and every worker count.
-
-// refOutcome is the reference explorer's per-configuration record,
-// mirroring the fields of Measurement that the determinism contract
-// covers.
-type refOutcome struct {
-	perf      float64
-	metrics   Metrics
-	evaluated bool
-	pruned    bool
-	cached    bool
-}
-
-// mapFrontierReference is the oracle: a sequential explorer with
-// map-backed frontiers over the full space-wide poset. It reproduces
-// the engine's decision semantics — canonical-twin dedup, monotone
-// pruning gated on fully-decided predecessor sets — with none of its
-// machinery: no bitsets, no groups, no signatures, no batching.
-func mapFrontierReference(cfgs []*Config, measure MeasureMetrics, metric Metric, constraints []Constraint, prune bool) ([]refOutcome, []int, int, int) {
-	n := len(cfgs)
-	p := Poset(cfgs)
-	preds := make([][]int, n)
-	for _, e := range p.Edges() {
-		preds[e[1]] = append(preds[e[1]], e[0])
-	}
-	canon := make([]int, n)
-	first := map[string]int{}
-	for i, c := range cfgs {
-		k := c.Key()
-		if f, ok := first[k]; ok {
-			canon[i] = f
-		} else {
-			first[k] = i
-			canon[i] = i
-		}
-	}
-
-	out := make([]refOutcome, n)
-	decided := map[int]bool{}
-	valued := map[int]bool{}
-	failsBudget := map[int]bool{}
-	evaluated, memoHits := 0, 0
-	for len(decided) < n {
-		progress := false
-		for i := 0; i < n; i++ {
-			if decided[i] {
-				continue
-			}
-			ready := true
-			for _, pr := range preds[i] {
-				if !decided[pr] {
-					ready = false
-					break
-				}
-			}
-			if !ready {
-				continue
-			}
-			progress = true
-			if prune {
-				prunedHere := false
-				for _, pr := range preds[i] {
-					if failsBudget[pr] {
-						prunedHere = true
-						break
-					}
-				}
-				if prunedHere {
-					out[i].pruned = true
-					failsBudget[i] = true
-					decided[i] = true
-					continue
-				}
-			}
-			var mx Metrics
-			if c := canon[i]; c != i && valued[c] {
-				mx = out[c].metrics
-				out[i].cached = true
-				memoHits++
-			} else {
-				mx, _ = measure(cfgs[i])
-				evaluated++
-			}
-			out[i].metrics = mx
-			out[i].perf = metric.Value(mx)
-			out[i].evaluated = true
-			valued[i] = true
-			if failsMonotone(constraints, mx) {
-				failsBudget[i] = true
-			}
-			decided[i] = true
-		}
-		if !progress {
-			panic("reference explorer wedged: cycle in poset")
-		}
-	}
-	safest := p.Maximal(func(c *Config) bool {
-		for i := range cfgs {
-			if cfgs[i] == c {
-				return out[i].evaluated && meetsAll(constraints, out[i].metrics)
-			}
-		}
-		return false
-	})
-	sort.Ints(safest)
-	return out, safest, evaluated, memoHits
-}
-
-// renderReference and renderResult serialize the oracle's and the
-// engine's view of a run into the same textual report, so equality can
-// be asserted byte for byte rather than field by field.
-func renderReference(out []refOutcome, safest []int, evaluated, memoHits int) string {
-	var b strings.Builder
-	for i, o := range out {
-		fmt.Fprintf(&b, "%d perf=%.9g eval=%t pruned=%t cached=%t mx=%+v\n",
-			i, o.perf, o.evaluated, o.pruned, o.cached, o.metrics)
-	}
-	fmt.Fprintf(&b, "safest=%v evaluated=%d memohits=%d\n", safest, evaluated, memoHits)
-	return b.String()
-}
-
-func renderResult(res *Result) string {
-	var b strings.Builder
-	for i := range res.Measurements {
-		m := &res.Measurements[i]
-		fmt.Fprintf(&b, "%d perf=%.9g eval=%t pruned=%t cached=%t mx=%+v\n",
-			i, m.Perf, m.Evaluated, m.Pruned, m.Cached, m.Metrics)
-	}
-	fmt.Fprintf(&b, "safest=%v evaluated=%d memohits=%d\n", res.Safest, res.Evaluated, res.MemoHits)
-	return b.String()
-}
+// Property tests for the bitset-frontier engine: the exploretest
+// reference explorer — map-backed frontiers over the full allocating
+// Leq poset, the representation the engine had before bitsets — must
+// agree with Engine.Run byte for byte — same measurements, same prune
+// decisions, same safest set — on random spaces, random budgets and
+// every worker count.
 
 // TestBitsetFrontiersMatchMapFrontierOracle is the frontier property:
 // on random spaces with random monotone measures, random budgets and
@@ -156,9 +28,9 @@ func TestBitsetFrontiersMatchMapFrontierOracle(t *testing.T) {
 	workerCounts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
 	for seed := int64(100); seed < 115; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		cfgs := randomSpace(rng, 80)
-		scalar := monotoneMeasure(rng)
-		measure := liftMeasure(scalar)
+		cfgs := exploretest.RandomSpace(rng, 80)
+		scalar := exploretest.MonotoneMeasure(rng)
+		measure := exploretest.Lift(scalar)
 
 		perfs := make([]float64, len(cfgs))
 		for i, c := range cfgs {
@@ -170,15 +42,14 @@ func TestBitsetFrontiersMatchMapFrontierOracle(t *testing.T) {
 
 		for _, budget := range budgets {
 			for _, prune := range []bool{false, true} {
-				constraints := []Constraint{BudgetConstraint("throughput", budget)}
-				out, safest, evaluated, memoHits := mapFrontierReference(cfgs, measure, "throughput", constraints, prune)
-				want := renderReference(out, safest, evaluated, memoHits)
+				constraints := []explore.Constraint{explore.BudgetConstraint("throughput", budget)}
+				want := exploretest.Reference(cfgs, measure, "throughput", constraints, prune).Render()
 				for _, workers := range workerCounts {
 					res, err := runForTest(t, cfgs, measure, constraints, workers, prune)
 					if err != nil {
 						t.Fatalf("seed %d budget %v prune %t workers %d: %v", seed, budget, prune, workers, err)
 					}
-					if got := renderResult(res); got != want {
+					if got := exploretest.RenderResult(res); got != want {
 						t.Fatalf("seed %d budget %v prune %t workers %d: report diverges from map-frontier oracle\n--- engine ---\n%s--- oracle ---\n%s",
 							seed, budget, prune, workers, got, want)
 					}
@@ -188,17 +59,20 @@ func TestBitsetFrontiersMatchMapFrontierOracle(t *testing.T) {
 	}
 }
 
-func runForTest(t *testing.T, cfgs []*Config, measure MeasureMetrics, constraints []Constraint, workers int, prune bool) (*Result, error) {
+func runForTest(t *testing.T, cfgs []*explore.Config, measure explore.MeasureMetrics, constraints []explore.Constraint, workers int, prune bool) (*explore.Result, error) {
 	t.Helper()
-	res, err := Engine{}.Run(t.Context(), Request{
-		Space:       randomSpaceCopy(cfgs),
+	res, err := explore.Engine{}.Run(t.Context(), explore.Request{
+		Space:       exploretest.CopySpace(cfgs),
 		Measure:     measure,
 		Metric:      "throughput",
 		Constraints: constraints,
 		Workers:     workers,
 		Prune:       prune,
 	})
-	return res, ignoreNoFeasible(err)
+	if errors.Is(err, explore.ErrNoFeasible) {
+		err = nil
+	}
+	return res, err
 }
 
 // TestSafetyLevelsMatchFlatPoset pins the grouped level computation to
@@ -208,17 +82,17 @@ func runForTest(t *testing.T, cfgs []*Config, measure MeasureMetrics, constraint
 func TestSafetyLevelsMatchFlatPoset(t *testing.T) {
 	for seed := int64(200); seed < 210; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		cfgs := randomSpace(rng, 70)
-		res, err := Engine{}.Run(t.Context(), Request{
-			Space: cfgs, Measure: liftMeasure(monotoneMeasure(rng)), Workers: 4,
+		cfgs := exploretest.RandomSpace(rng, 70)
+		res, err := explore.Engine{}.Run(t.Context(), explore.Request{
+			Space: cfgs, Measure: exploretest.Lift(exploretest.MonotoneMeasure(rng)), Workers: 4,
 		})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		got := res.SafetyLevels()
 
-		flat := &Result{Measurements: res.Measurements, Total: res.Total}
-		want := flat.SafetyLevels() // order==nil: flat-poset fallback path
+		flat := &explore.Result{Measurements: res.Measurements, Total: res.Total}
+		want := flat.SafetyLevels() // order-free Result: flat-poset fallback path
 		if len(got) != len(want) {
 			t.Fatalf("seed %d: level lengths %d vs %d", seed, len(got), len(want))
 		}

@@ -22,7 +22,15 @@ import (
 // statistics, never results), and the Progress/Observe hooks.
 // Constraints are rendered canonically and sorted, since feasibility
 // is their conjunction — "a AND b" and "b AND a" decide the same runs.
-func CanonicalRequestKey(workload string, cfgs []*Config, metric Metric, constraints []Constraint, prune bool, shard Shard) string {
+//
+// The measurement budget and seed join the key: budgeted runs decide
+// (and skip) different configurations per (budget, seed) pair, so two
+// requests differing only there must not coalesce. The seed is
+// normalized to 0 when no budget is set — an unbudgeted request
+// ignores it, and ignored knobs must not split a flight. A delta
+// request keys separately too (its report covers only the re-measured
+// slice), and normalizes prune away since delta dispatch ignores it.
+func CanonicalRequestKey(workload string, cfgs []*Config, metric Metric, constraints []Constraint, prune bool, shard Shard, budget int, seed int64, delta bool) string {
 	// Resolve the ranking metric exactly as Engine.Run does.
 	if metric == "" {
 		if len(constraints) > 0 {
@@ -37,6 +45,12 @@ func CanonicalRequestKey(workload string, cfgs []*Config, metric Metric, constra
 		cs = append(cs, c.String())
 	}
 	sort.Strings(cs)
-	return fmt.Sprintf("space=%s;metric=%s;constraints=%s;prune=%t;shard=%s",
-		SpaceHash(workload, cfgs), metric, strings.Join(cs, ","), prune, shard)
+	if budget <= 0 {
+		budget, seed = 0, 0
+	}
+	if delta {
+		prune = false
+	}
+	return fmt.Sprintf("space=%s;metric=%s;constraints=%s;prune=%t;shard=%s;budget=%d;seed=%d;delta=%t",
+		SpaceHash(workload, cfgs), metric, strings.Join(cs, ","), prune, shard, budget, seed, delta)
 }

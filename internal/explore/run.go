@@ -80,6 +80,17 @@ type Result struct {
 	// MemoHits counts configurations whose value came from the memo or
 	// an identical twin within the space instead of a fresh run.
 	MemoHits int
+	// Measured counts fresh measure-function calls the run spent. In
+	// exhaustive runs it equals Evaluated; in budgeted runs it also
+	// counts boundary probes whose measurement failed a monotone
+	// constraint and was recorded as a prune decision — the currency
+	// Request.MeasureBudget caps.
+	Measured int
+	// Skipped counts configurations the run decided without a value:
+	// beyond the measurement budget (budgeted search) or already
+	// present in the store (delta re-exploration). Always 0 for
+	// exhaustive runs.
+	Skipped int
 	// Constraints echoes the feasibility conjunction of the run.
 	Constraints []Constraint
 	// Budget echoes the ranking metric's bound when one of the

@@ -1,12 +1,15 @@
 package explore
 
 import (
-	"context"
-	"math/rand"
-	"reflect"
 	"sync"
 	"testing"
 )
+
+// White-box unit tests for shard arithmetic and the backed memo's
+// two-tier protocol. The engine-level shard/backing properties (a
+// sharded run matches the manual subslice; sharded backings warm-start
+// a full run) live in shard_property_test.go on the exploretest
+// harness.
 
 // TestShardSliceProperties is the partition law: for every space size
 // and shard count, the shards are contiguous, order-preserving,
@@ -86,68 +89,27 @@ func TestParseShard(t *testing.T) {
 	}
 }
 
-// TestEngineShardMatchesManualSubslice: running the engine with a
-// Shard must be indistinguishable from running it over the slice by
-// hand.
-func TestEngineShardMatchesManualSubslice(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
-	cfgs := randomSpace(rng, 40)
-	measure := liftMeasure(monotoneMeasure(rng))
-	for count := 1; count <= 4; count++ {
-		for idx := 0; idx < count; idx++ {
-			sh := Shard{Index: idx, Count: count}
-			sharded, err := Engine{}.Run(context.Background(), Request{
-				Space: randomSpaceCopy(cfgs), Measure: measure, Prune: true, Workers: 3, Shard: sh,
-			})
-			if err != nil {
-				t.Fatalf("shard %v: %v", sh, err)
-			}
-			lo, hi := sh.bounds(len(cfgs))
-			manual, err := Engine{}.Run(context.Background(), Request{
-				Space: randomSpaceCopy(cfgs)[lo:hi], Measure: measure, Prune: true, Workers: 3,
-			})
-			if err != nil {
-				t.Fatalf("manual %v: %v", sh, err)
-			}
-			if sharded.Total != hi-lo || len(sharded.Measurements) != hi-lo {
-				t.Fatalf("shard %v: covered %d configs, want %d", sh, sharded.Total, hi-lo)
-			}
-			for i := range manual.Measurements {
-				a, b := sharded.Measurements[i], manual.Measurements[i]
-				if a.Perf != b.Perf || a.Evaluated != b.Evaluated || a.Pruned != b.Pruned {
-					t.Fatalf("shard %v: measurement %d diverges: %+v vs %+v", sh, i, a, b)
-				}
-			}
-			if !reflect.DeepEqual(sharded.Safest, manual.Safest) {
-				t.Fatalf("shard %v: safest %v, manual %v", sh, sharded.Safest, manual.Safest)
-			}
-		}
-	}
-}
-
-// mapBacking is an in-memory Backing double that counts traffic.
-type mapBacking struct {
+// countingBacking is the minimal in-memory Backing double the white-box
+// memo test needs (the full engine-level double, with key logs and
+// snapshot/merge accessors, is exploretest.MapBacking — unusable here
+// because in-package test files cannot import a package that imports
+// the package under test).
+type countingBacking struct {
 	mu     sync.Mutex
 	m      map[string]Metrics
 	loads  int
-	hits   int
 	stores int
 }
 
-func newMapBacking() *mapBacking { return &mapBacking{m: make(map[string]Metrics)} }
-
-func (b *mapBacking) Load(key string) (Metrics, bool) {
+func (b *countingBacking) Load(key string) (Metrics, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.loads++
 	m, ok := b.m[key]
-	if ok {
-		b.hits++
-	}
 	return m, ok
 }
 
-func (b *mapBacking) Store(key string, m Metrics) {
+func (b *countingBacking) Store(key string, m Metrics) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.stores++
@@ -158,7 +120,7 @@ func (b *mapBacking) Store(key string, m Metrics) {
 // backing, a fresh measurement writes through, a backing hit counts as
 // a memo hit and is promoted so it is loaded once.
 func TestBackedMemoLoadAndWriteThrough(t *testing.T) {
-	b := newMapBacking()
+	b := &countingBacking{m: make(map[string]Metrics)}
 	memo := NewBackedMemo(b)
 	calls := 0
 	f := func() (Metrics, error) { calls++; return Metrics{Throughput: 42}, nil }
@@ -194,70 +156,6 @@ func TestBackedMemoLoadAndWriteThrough(t *testing.T) {
 	}
 	if b.stores != 1 {
 		t.Fatalf("backing hits must not write back (stores=%d)", b.stores)
-	}
-}
-
-// TestShardedBackingsWarmStartFullRun is the tentpole property at the
-// engine level: explore every shard separately (each writing through
-// to a backing), merge the backings, and the full-space run over the
-// merged backing must be byte-identical to a cold full-space run while
-// measuring nothing fresh — for any shard count and worker count, with
-// pruning on.
-func TestShardedBackingsWarmStartFullRun(t *testing.T) {
-	for seed := int64(0); seed < 8; seed++ {
-		rng := rand.New(rand.NewSource(seed))
-		cfgs := randomSpace(rng, 50)
-		measure := liftMeasure(monotoneMeasure(rng))
-		budget := 99_000.0
-		req := func(space []*Config) Request {
-			return Request{
-				Space: space, Measure: measure, Prune: true, Workers: 4,
-				Constraints: []Constraint{BudgetConstraint("", budget)},
-			}
-		}
-
-		cold, err := Engine{}.Run(context.Background(), req(randomSpaceCopy(cfgs)))
-		if err != nil {
-			t.Fatalf("seed %d: cold: %v", seed, err)
-		}
-
-		for _, count := range []int{1, 2, 3, 5} {
-			merged := newMapBacking()
-			for idx := 0; idx < count; idx++ {
-				b := newMapBacking()
-				r := req(randomSpaceCopy(cfgs))
-				r.Shard = Shard{Index: idx, Count: count}
-				r.Memo = NewBackedMemo(b)
-				if _, err := (Engine{}).Run(context.Background(), r); err != nil {
-					t.Fatalf("seed %d shard %d/%d: %v", seed, idx, count, err)
-				}
-				for k, v := range b.m {
-					if prev, dup := merged.m[k]; dup && prev != v {
-						t.Fatalf("seed %d shard %d/%d: conflicting twin value for %q", seed, idx, count, k)
-					}
-					merged.m[k] = v
-				}
-			}
-
-			r := req(randomSpaceCopy(cfgs))
-			r.Memo = NewBackedMemo(merged)
-			warm, err := Engine{}.Run(context.Background(), r)
-			if err != nil {
-				t.Fatalf("seed %d count %d: warm: %v", seed, count, err)
-			}
-			if warm.Evaluated != 0 {
-				t.Fatalf("seed %d count %d: warm run measured %d fresh configs; the shard union must cover the full run", seed, count, warm.Evaluated)
-			}
-			if !reflect.DeepEqual(warm.Safest, cold.Safest) {
-				t.Fatalf("seed %d count %d: safest %v, cold %v", seed, count, warm.Safest, cold.Safest)
-			}
-			for i := range cold.Measurements {
-				a, b := warm.Measurements[i], cold.Measurements[i]
-				if a.Perf != b.Perf || a.Metrics != b.Metrics || a.Evaluated != b.Evaluated || a.Pruned != b.Pruned {
-					t.Fatalf("seed %d count %d: measurement %d diverges: %+v vs %+v", seed, count, i, a, b)
-				}
-			}
-		}
 	}
 }
 

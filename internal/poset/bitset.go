@@ -43,6 +43,16 @@ func (b Bitset) Count() int {
 	return n
 }
 
+// CountAnd returns |b ∩ o| without materializing the intersection.
+// The sets must have equal Len.
+func (b Bitset) CountAnd(o Bitset) int {
+	n := 0
+	for k, w := range b.words {
+		n += bits.OnesCount64(w & o.words[k])
+	}
+	return n
+}
+
 // Intersects reports whether the two sets share an element. The sets
 // must have equal Len.
 func (b Bitset) Intersects(o Bitset) bool {

@@ -64,6 +64,14 @@ func (p *Poset[T]) row(i int) Bitset {
 	return bitsetOver(p.rows[i*p.words:(i+1)*p.words], len(p.items))
 }
 
+// UpSet exposes the up-set of item i — the set {j : leq(i, j)}, i.e.
+// everything at least as safe as i, including i itself and any
+// order-equivalent items — as a bitset view over the shared matrix
+// storage, without copying. Callers must not mutate it. The budgeted
+// exploration engine uses up-sets (and their transposes) as the
+// reachability currency of branch-and-bound pruning.
+func (p *Poset[T]) UpSet(i int) Bitset { return p.row(i) }
+
 // Leq reports whether item i is less-or-equally safe than item j.
 func (p *Poset[T]) Leq(i, j int) bool {
 	return p.row(i).Test(j)

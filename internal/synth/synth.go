@@ -198,9 +198,18 @@ func Measure(seed int64) explore.MeasureMetrics {
 
 // MedianThroughput returns the median modeled throughput of a space
 // under Measure(seed) — a convenient floor for benchmarks and tests
-// that want a budget pruning roughly half the space. It measures the
-// space once (cheaply: the model is a few hundred ns per point).
+// that want a budget pruning roughly half the space.
 func MedianThroughput(seed int64, cfgs []*explore.Config) float64 {
+	return QuantileThroughput(seed, cfgs, 0.5)
+}
+
+// QuantileThroughput returns the q-quantile (0 <= q <= 1) of a space's
+// modeled throughput distribution under Measure(seed). High quantiles
+// make tight monotone floors: a q=0.95 floor keeps roughly the top 5%
+// of the space feasible, the regime where branch-and-bound pruning
+// pays off most. It measures the space once (cheaply: the model is a
+// few hundred ns per point).
+func QuantileThroughput(seed int64, cfgs []*explore.Config, q float64) float64 {
 	measure := Measure(seed)
 	vals := make([]float64, len(cfgs))
 	for i, c := range cfgs {
@@ -211,5 +220,12 @@ func MedianThroughput(seed int64, cfgs []*explore.Config) float64 {
 		return 0
 	}
 	sort.Float64s(vals)
-	return vals[len(vals)/2]
+	idx := int(q * float64(len(vals)))
+	if idx >= len(vals) {
+		idx = len(vals) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return vals[idx]
 }

@@ -41,6 +41,9 @@ type Query struct {
 	metric      Metric
 	workers     int
 	prune       bool
+	budget      int
+	seed        int64
+	deltaOnly   bool
 	memo        *ExploreMemo
 	shard       explore.Shard
 	cacheDir    string
@@ -141,6 +144,44 @@ func (q *Query) Prune(on bool) *Query {
 	return q
 }
 
+// MeasureBudget caps the number of fresh measurements a run may spend
+// (<= 0: unlimited, the default) and switches the engine to budgeted
+// guided search: branch-and-bound over the safety posets when pruning
+// is on — one probe failing a monotone floor prunes its whole up-set
+// before measuring it — then successive-halving ranked sampling of
+// the rest. Configurations the budget never reaches are skipped
+// (Result.Skipped); everything reported also appears, bit-for-bit, in
+// the exhaustive run's result. Memo/Cache hits are free: they never
+// consume budget. For a fixed (budget, Seed) pair results are
+// byte-identical at every worker count.
+func (q *Query) MeasureBudget(n int) *Query {
+	q.budget = n
+	return q
+}
+
+// Seed sets the sampling seed of a budgeted run (see MeasureBudget):
+// candidate order is a splittable PRNG stream over canonical
+// configuration keys, so a different seed samples a different subset
+// and a fixed seed always samples the same one. Ignored without a
+// budget.
+func (q *Query) Seed(s int64) *Query {
+	q.seed = s
+	return q
+}
+
+// DeltaOnly switches the run to delta re-exploration: only the
+// configurations whose canonical identity is absent from the attached
+// Cache (or backed Memo) are measured — present keys are skipped
+// without loading (Result.Skipped). Fresh measurements write through
+// to the store as usual, so after a delta run a plain warm run of the
+// edited space yields the full merged report, byte-identical to a
+// cold exhaustive run. Requires Cache or a Memo; incompatible with
+// MeasureBudget; pruning is ignored.
+func (q *Query) DeltaOnly() *Query {
+	q.deltaOnly = true
+	return q
+}
+
 // Memo attaches a measurement cache shared across runs (see
 // NewExploreMemo). Results memoize under the workload's namespace plus
 // any Namespace the caller adds.
@@ -218,7 +259,8 @@ func (q *Query) SpaceHash() string {
 // deliberately excluded: none of them can change a result, only
 // statistics and wall-clock time.
 func (q *Query) CanonicalKey() string {
-	return explore.CanonicalRequestKey(q.namespaceKey(), q.space, q.metric, q.constraints, q.prune, q.shard)
+	return explore.CanonicalRequestKey(q.namespaceKey(), q.space, q.metric, q.constraints, q.prune, q.shard,
+		q.budget, q.seed, q.deltaOnly)
 }
 
 // Namespace adds a caller-defined namespace component to the memo keys
@@ -263,17 +305,23 @@ func (q *Query) request() (explore.Request, error) {
 	if q.cacheDir != "" && q.memo != nil {
 		return explore.Request{}, errors.New("flexos: Query.Cache and Query.Memo are exclusive; the cache directory already carries the memo's entries — share it instead")
 	}
+	if q.deltaOnly && q.cacheDir == "" && q.memo == nil {
+		return explore.Request{}, errors.New("flexos: Query.DeltaOnly needs a store to diff against; call Cache or Memo")
+	}
 	return explore.Request{
-		Space:       q.space,
-		Measure:     q.measure,
-		Metric:      q.metric,
-		Constraints: append([]ExploreConstraint(nil), q.constraints...),
-		Workers:     q.workers,
-		Prune:       q.prune,
-		Memo:        q.memo,
-		Workload:    q.namespaceKey(),
-		Shard:       q.shard,
-		Progress:    q.progress,
+		Space:         q.space,
+		Measure:       q.measure,
+		Metric:        q.metric,
+		Constraints:   append([]ExploreConstraint(nil), q.constraints...),
+		Workers:       q.workers,
+		Prune:         q.prune,
+		MeasureBudget: q.budget,
+		Seed:          q.seed,
+		DeltaOnly:     q.deltaOnly,
+		Memo:          q.memo,
+		Workload:      q.namespaceKey(),
+		Shard:         q.shard,
+		Progress:      q.progress,
 	}, nil
 }
 
