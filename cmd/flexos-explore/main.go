@@ -209,7 +209,10 @@ func main() {
 // its answer: the streamed lines and the report (both byte-identical
 // to a local run) to stdout, the daemon's run statistics to stderr.
 func runRemote(ctx context.Context, baseURL string, req cli.Request) {
-	client := &cli.Client{BaseURL: baseURL}
+	// Transient failures (daemon restarting, connection cut mid-stream)
+	// retry with bounded backoff; a resumed stream skips the lines
+	// already printed, so stdout stays byte-identical to a clean run.
+	client := &cli.Client{BaseURL: baseURL, Retry: cli.DefaultRetry}
 	var (
 		resp cli.Response
 		err  error

@@ -60,6 +60,16 @@ func main() {
 
 	n, err := flexos.MergeStores(*out, shards...)
 	if err != nil {
+		// A conflict names the colliding record and both sources;
+		// spell it out so the user knows which shard dirs disagree
+		// (and on what) rather than just that "a merge failed".
+		var ce *flexos.MergeConflictError
+		if errors.As(err, &ce) {
+			fmt.Fprintf(os.Stderr, "flexos-merge: conflicting measurement for record %q (addr %s):\n", ce.Key, ce.Addr)
+			fmt.Fprintf(os.Stderr, "  %s: %v\n", ce.DirA, ce.A)
+			fmt.Fprintf(os.Stderr, "  %s: %v\n", ce.DirB, ce.B)
+			fatal(1, errors.New("the shard stores were produced by disagreeing measurements; re-run the shards with identical flags"))
+		}
 		fatal(1, err)
 	}
 	fmt.Fprintf(os.Stderr, "flexos-merge: merged %d stores into %s (%d records)\n", len(shards), *out, n)

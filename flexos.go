@@ -117,6 +117,11 @@ type (
 	// of Count order-preserving, pairwise-disjoint contiguous
 	// partitions of the canonical enumeration.
 	ExploreShard = explore.Shard
+	// MergeConflictError is the typed error MergeStores returns when
+	// two input stores disagree on a record: it names the conflicting
+	// key, its content address, both source directories and both metric
+	// vectors.
+	MergeConflictError = store.ConflictError
 	// Metrics is the multi-metric vector one workload run produces:
 	// throughput, p50/p99/max latency, peak simulated memory, boot
 	// cycles.
@@ -172,6 +177,13 @@ func NaturalOp(m Metric) ConstraintOp { return explore.NaturalOp(m) }
 // ParseShard parses the CLI shard syntax "index/count" with
 // 0 <= index < count (e.g. "0/4") into a Query.Shard selection.
 func ParseShard(s string) (ExploreShard, error) { return explore.ParseShard(s) }
+
+// MemoKey composes the memo/store key of one configuration under a
+// memo namespace (Query.MemoNamespace): the unit of exchange when runs
+// ship partial results to each other — shard-merge via MergeStores,
+// or a cluster coordinator collecting (key, metrics) records from its
+// workers. Reproducible from (namespace, config) alone, on any node.
+func MemoKey(namespace string, c *ExploreConfig) string { return explore.MemoKey(namespace, c) }
 
 // MergeStores merges N result-store directories (typically one per
 // exploration shard, written via Query.Cache) into a fresh store at

@@ -67,6 +67,14 @@ type Request struct {
 	// (0: no deadline). It cancels only the caller's subscription; a
 	// coalesced run keeps serving its other subscribers.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// IncludeRecords asks the daemon to attach the run's partial-result
+	// codec to the final response: one (memo key, metrics) Record per
+	// valued configuration. A cluster coordinator sets it on the shard
+	// sub-requests it dispatches, then replays the records into its own
+	// memo before re-ranking. Like Workers it never changes report
+	// bytes, so it is excluded from the canonical key — a sub-request
+	// coalesces with an identical user request already in flight.
+	IncludeRecords bool `json:"include_records,omitempty"`
 }
 
 // Wire guardrails for DecodeRequest: a serving daemon must bound the
@@ -94,6 +102,10 @@ type BuildInfo struct {
 	// Pareto without a measurement budget (a budgeted run prunes under
 	// -pareto too — branch-and-bound is how it finds the frontier).
 	Prune bool
+	// Namespace is the query's composed memo namespace
+	// (Query.MemoNamespace) — the prefix of every memo/store key the
+	// run touches, and what RecordsOf keys the partial-result codec by.
+	Namespace string
 }
 
 // Normalize fills CLI defaults in place so that equal requests encode
@@ -194,6 +206,7 @@ func (r *Request) Build() (*flexos.Query, *BuildInfo, error) {
 		Metric:       metric,
 		Constraints:  constraints,
 		Prune:        prune,
+		Namespace:    q.MemoNamespace(),
 	}, nil
 }
 
@@ -280,6 +293,68 @@ type Response struct {
 	// warm and coalesced runs); travels outside Report so byte
 	// comparison of reports stays meaningful.
 	Stats *RunStats `json:"stats,omitempty"`
+	// Records is the run's partial-result codec, attached to the final
+	// response when the request set IncludeRecords: one (memo key,
+	// metrics) pair per valued configuration, in enumeration order.
+	Records []Record `json:"records,omitempty"`
 	// Error is set instead of Report when the exploration failed.
 	Error string `json:"error,omitempty"`
+}
+
+// Record is one entry of the partial-result codec: a measurement
+// addressed by its full memo/store key (namespace NUL-joined with the
+// configuration's canonical identity — see flexos.MemoKey), so any
+// node exploring the same space can replay it into its own memo or
+// store. It is what a worker daemon returns to a coordinator and what
+// the store-sync endpoint (/v1/store/pull) ships between nodes.
+type Record struct {
+	Key     string         `json:"key"`
+	Metrics flexos.Metrics `json:"metrics"`
+}
+
+// RecordsOf renders a finished run into the partial-result codec: one
+// Record per valued measurement, keyed under the given memo namespace
+// (BuildInfo.Namespace), deduplicated by key in enumeration order —
+// canonical twins collapse to one record, pruned or skipped
+// configurations ship none. Deterministic: the same result always
+// renders the same records in the same order.
+func RecordsOf(namespace string, res *flexos.ExploreResult) []Record {
+	if res == nil {
+		return nil
+	}
+	seen := make(map[string]struct{}, len(res.Measurements))
+	recs := make([]Record, 0, len(res.Measurements))
+	for i := range res.Measurements {
+		m := &res.Measurements[i]
+		if !m.Evaluated {
+			continue
+		}
+		key := flexos.MemoKey(namespace, m.Config)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		recs = append(recs, Record{Key: key, Metrics: m.Metrics})
+	}
+	return recs
+}
+
+// PullPage is one page of the store-sync protocol
+// (GET /v1/store/pull?since=N&gen=G): the records appended to the
+// serving node's sync log after cursor position N, a new cursor, and
+// whether more pages follow. Gen identifies the log incarnation — a
+// restarted daemon rebuilds its log in a different order, so a stale
+// generation resets the puller to cursor 0 rather than shipping a
+// misaligned suffix.
+type PullPage struct {
+	Gen     string   `json:"gen"`
+	Cursor  int      `json:"cursor"`
+	More    bool     `json:"more,omitempty"`
+	Records []Record `json:"records,omitempty"`
+}
+
+// JoinRequest is the body of POST /v1/cluster/join: a worker daemon
+// announcing the base URL the coordinator should dispatch to.
+type JoinRequest struct {
+	URL string `json:"url"`
 }

@@ -7,9 +7,71 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"net/url"
 	"strings"
+	"time"
 )
+
+// RetryPolicy bounds the client's retries of transient failures:
+// transport errors (a dialing worker that is not up yet, a connection
+// cut mid-flight) and 5xx responses. 4xx responses and server-reported
+// exploration errors are never retried — they are deterministic.
+//
+// Attempt n (0-based) sleeps BaseDelay·2ⁿ capped at MaxDelay, with
+// uniform jitter in [d/2, d] so a fleet of retrying clients does not
+// stampede a recovering daemon in lockstep.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries; values <= 1 mean a
+	// single attempt (no retry).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (0: 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (0: 1s).
+	MaxDelay time.Duration
+}
+
+// DefaultRetry is the policy flexos-explore -remote and the cluster
+// coordinator use: four tries over roughly a quarter second.
+var DefaultRetry = &RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second}
+
+// attempts returns the effective total try count (at least 1).
+func (p *RetryPolicy) attempts() int {
+	if p == nil || p.MaxAttempts <= 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the jittered sleep before retry number n (0-based).
+func (p *RetryPolicy) backoff(n int) time.Duration {
+	base, max := 50*time.Millisecond, time.Second
+	if p != nil && p.BaseDelay > 0 {
+		base = p.BaseDelay
+	}
+	if p != nil && p.MaxDelay > 0 {
+		max = p.MaxDelay
+	}
+	d := base << uint(min(n, 20))
+	if d <= 0 || d > max {
+		d = max
+	}
+	return d/2 + rand.N(d/2+1)
+}
+
+// sleep waits the backoff for retry n, or returns early with the
+// context's error.
+func (p *RetryPolicy) sleep(ctx context.Context, n int) error {
+	t := time.NewTimer(p.backoff(n))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
 
 // Client forwards exploration requests to a flexos-serve daemon. The
 // zero HTTPClient means http.DefaultClient. Explore and ExploreStream
@@ -21,6 +83,12 @@ type Client struct {
 	BaseURL string
 	// HTTPClient overrides the transport when non-nil.
 	HTTPClient *http.Client
+	// Retry, when non-nil, retries transient failures (transport
+	// errors, 5xx) with bounded exponential backoff. Streamed requests
+	// resume deterministically: lines already delivered are skipped on
+	// the retried stream, which replays identically (streams are in
+	// input order, byte-identical across runs).
+	Retry *RetryPolicy
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -30,17 +98,61 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// ExplorePath is the daemon's exploration endpoint.
-const ExplorePath = "/v1/explore"
+// Daemon endpoints.
+const (
+	// ExplorePath is the exploration endpoint (POST).
+	ExplorePath = "/v1/explore"
+	// JoinPath registers a worker with a coordinator (POST).
+	JoinPath = "/v1/cluster/join"
+	// MembersPath lists a coordinator's cluster membership (GET).
+	MembersPath = "/v1/cluster/members"
+	// PullPath ships store records between nodes (GET, paged).
+	PullPath = "/v1/store/pull"
+)
 
-func (c *Client) post(ctx context.Context, req Request) (*http.Response, error) {
-	url := strings.TrimSuffix(c.BaseURL, "/") + ExplorePath
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(req.Encode()))
+// doOnce issues one HTTP attempt. body may be nil for GETs.
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	u := strings.TrimSuffix(c.BaseURL, "/") + path
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, method, u, rd)
 	if err != nil {
 		return nil, err
 	}
-	hreq.Header.Set("Content-Type", "application/json")
+	if body != nil {
+		hreq.Header.Set("Content-Type", "application/json")
+	}
 	return c.httpClient().Do(hreq)
+}
+
+// do issues the request under the retry policy: transport errors and
+// 5xx responses are retried with backoff until the attempts run out;
+// any other response is returned as-is.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	attempts := c.Retry.attempts()
+	for n := 0; ; n++ {
+		hres, err := c.doOnce(ctx, method, path, body)
+		retryable := err != nil || hres.StatusCode >= 500
+		if !retryable || n+1 >= attempts {
+			return hres, err
+		}
+		if err == nil {
+			io.Copy(io.Discard, io.LimitReader(hres.Body, 4096))
+			hres.Body.Close()
+		}
+		if serr := c.Retry.sleep(ctx, n); serr != nil {
+			if err == nil {
+				err = serr
+			}
+			return nil, err
+		}
+	}
+}
+
+func (c *Client) post(ctx context.Context, req Request) (*http.Response, error) {
+	return c.do(ctx, http.MethodPost, ExplorePath, req.Encode())
 }
 
 // decodeError turns a non-OK complete response into an error carrying
@@ -79,16 +191,42 @@ func (c *Client) Explore(ctx context.Context, req Request) (Response, error) {
 // called for each measured configuration, in Query.Stream order, with
 // exactly the bytes a local -stream run would print; the returned
 // Response is the final report document.
+//
+// Under a Retry policy a stream cut mid-flight (worker death, network
+// failure) is retried as a whole request, and because streams replay
+// byte-identically in input order, the lines already delivered are
+// skipped on the resumed stream — the caller sees every line exactly
+// once, in order, with no duplicates across the cut.
 func (c *Client) ExploreStream(ctx context.Context, req Request, onLine func(string)) (Response, error) {
 	req.Stream = true
-	hres, err := c.post(ctx, req)
+	attempts := c.Retry.attempts()
+	delivered := 0
+	for n := 0; ; n++ {
+		res, retryable, err := c.streamOnce(ctx, req, &delivered, onLine)
+		if err == nil || !retryable || n+1 >= attempts || ctx.Err() != nil {
+			return res, err
+		}
+		if serr := c.Retry.sleep(ctx, n); serr != nil {
+			return Response{}, err
+		}
+	}
+}
+
+// streamOnce runs a single streaming attempt, skipping the first
+// *delivered lines (already handed to onLine by a previous attempt)
+// and advancing *delivered as new ones arrive. retryable reports
+// whether the failure is transient — a transport error or severed
+// stream — rather than a deterministic rejection.
+func (c *Client) streamOnce(ctx context.Context, req Request, delivered *int, onLine func(string)) (_ Response, retryable bool, _ error) {
+	hres, err := c.doOnce(ctx, http.MethodPost, ExplorePath, req.Encode())
 	if err != nil {
-		return Response{}, err
+		return Response{}, true, err
 	}
 	defer hres.Body.Close()
 	if hres.StatusCode != http.StatusOK {
-		return Response{}, decodeError(hres)
+		return Response{}, hres.StatusCode >= 500, decodeError(hres)
 	}
+	seen := 0
 	sc := bufio.NewScanner(hres.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), MaxRequestBytes)
 	for sc.Scan() {
@@ -97,33 +235,34 @@ func (c *Client) ExploreStream(ctx context.Context, req Request, onLine func(str
 		}
 		var ev Response
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-			return Response{}, fmt.Errorf("cli: remote explore: decode stream event: %w", err)
+			return Response{}, false, fmt.Errorf("cli: remote explore: decode stream event: %w", err)
 		}
 		switch {
 		case ev.Error != "":
-			return Response{}, fmt.Errorf("cli: remote explore: %s", ev.Error)
+			return Response{}, false, fmt.Errorf("cli: remote explore: %s", ev.Error)
 		case ev.Line != "":
-			if onLine != nil {
-				onLine(ev.Line)
+			seen++
+			if seen > *delivered {
+				*delivered = seen
+				if onLine != nil {
+					onLine(ev.Line)
+				}
 			}
 		case ev.Report != "":
-			return ev, nil
+			return ev, false, nil
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return Response{}, fmt.Errorf("cli: remote explore: %w", err)
+		return Response{}, true, fmt.Errorf("cli: remote explore: %w", err)
 	}
-	return Response{}, fmt.Errorf("cli: remote explore: stream ended without a final report")
+	return Response{}, true, fmt.Errorf("cli: remote explore: stream ended without a final report")
 }
 
-// Healthz checks the daemon's health endpoint.
+// Healthz checks the daemon's health endpoint. It never retries —
+// health probes are the caller's failure detector, and a detector
+// that retries on its own blurs the signal it exists to provide.
 func (c *Client) Healthz(ctx context.Context) error {
-	url := strings.TrimSuffix(c.BaseURL, "/") + "/healthz"
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return err
-	}
-	hres, err := c.httpClient().Do(hreq)
+	hres, err := c.doOnce(ctx, http.MethodGet, "/healthz", nil)
 	if err != nil {
 		return err
 	}
@@ -133,4 +272,45 @@ func (c *Client) Healthz(ctx context.Context) error {
 		return fmt.Errorf("cli: healthz: HTTP %d", hres.StatusCode)
 	}
 	return nil
+}
+
+// Join registers selfURL as a worker with the coordinator at BaseURL,
+// under the retry policy (a worker typically joins before the
+// coordinator finishes booting).
+func (c *Client) Join(ctx context.Context, selfURL string) error {
+	body, err := json.Marshal(JoinRequest{URL: selfURL})
+	if err != nil {
+		return err
+	}
+	hres, err := c.do(ctx, http.MethodPost, JoinPath, body)
+	if err != nil {
+		return err
+	}
+	defer hres.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(hres.Body, 4096))
+	if hres.StatusCode != http.StatusOK {
+		return fmt.Errorf("cli: cluster join: HTTP %d", hres.StatusCode)
+	}
+	return nil
+}
+
+// Pull fetches one page of the peer's sync log: the records appended
+// after cursor position since, under log generation gen (empty on the
+// first call; a generation mismatch resets the page to the log head).
+func (c *Client) Pull(ctx context.Context, gen string, since int) (PullPage, error) {
+	path := fmt.Sprintf("%s?since=%d&gen=%s", PullPath, since, url.QueryEscape(gen))
+	hres, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return PullPage{}, err
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(hres.Body, 4096))
+		return PullPage{}, fmt.Errorf("cli: store pull: HTTP %d: %s", hres.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var page PullPage
+	if err := json.NewDecoder(io.LimitReader(hres.Body, 8*MaxRequestBytes)).Decode(&page); err != nil {
+		return PullPage{}, fmt.Errorf("cli: store pull: decode page: %w", err)
+	}
+	return page, nil
 }

@@ -1,0 +1,280 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastRetry keeps the regression tests quick: four tries, ~1ms apart.
+func fastRetry() *RetryPolicy {
+	return &RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+}
+
+// flakyExplore answers ExplorePath with `failures` transient errors
+// before succeeding, counting every attempt it sees.
+type flakyExplore struct {
+	attempts atomic.Int64
+	failures int64
+	status   int // the transient status to fail with
+	respond  func(w http.ResponseWriter, r *http.Request)
+}
+
+func (f *flakyExplore) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := f.attempts.Add(1)
+	if n <= f.failures {
+		http.Error(w, "transient", f.status)
+		return
+	}
+	f.respond(w, r)
+}
+
+func completeResponse(report string) func(w http.ResponseWriter, r *http.Request) {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(Response{Key: "k", Report: report})
+	}
+}
+
+func TestClientRetriesTransient5xx(t *testing.T) {
+	f := &flakyExplore{failures: 3, status: http.StatusServiceUnavailable, respond: completeResponse("ok\n")}
+	ts := httptest.NewServer(f)
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, Retry: fastRetry()}
+	resp, err := c.Explore(context.Background(), Request{App: "redis"})
+	if err != nil {
+		t.Fatalf("explore after transient failures: %v", err)
+	}
+	if resp.Report != "ok\n" {
+		t.Fatalf("report %q", resp.Report)
+	}
+	if got := f.attempts.Load(); got != 4 {
+		t.Fatalf("attempts = %d, want 4 (3 failures + 1 success)", got)
+	}
+}
+
+func TestClientRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	f := &flakyExplore{failures: 1 << 30, status: http.StatusInternalServerError, respond: completeResponse("never\n")}
+	ts := httptest.NewServer(f)
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, Retry: fastRetry()}
+	_, err := c.Explore(context.Background(), Request{App: "redis"})
+	if err == nil || !strings.Contains(err.Error(), "HTTP 500") {
+		t.Fatalf("want HTTP 500 error after exhausting retries, got %v", err)
+	}
+	if got := f.attempts.Load(); got != 4 {
+		t.Fatalf("attempts = %d, want exactly MaxAttempts", got)
+	}
+}
+
+func TestClientDoesNotRetry4xx(t *testing.T) {
+	f := &flakyExplore{failures: 1 << 30, status: http.StatusBadRequest, respond: completeResponse("never\n")}
+	ts := httptest.NewServer(f)
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, Retry: fastRetry()}
+	_, err := c.Explore(context.Background(), Request{App: "redis"})
+	if err == nil || !strings.Contains(err.Error(), "HTTP 400") {
+		t.Fatalf("want HTTP 400 error, got %v", err)
+	}
+	if got := f.attempts.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (4xx is deterministic, never retried)", got)
+	}
+}
+
+func TestClientRetriesDialFailure(t *testing.T) {
+	// A server that is stopped before the request: the first attempts
+	// dial a dead address. Bind, grab the address, close, then point a
+	// fresh server at nothing — simplest portable "daemon not up yet"
+	// is an address with no listener.
+	ts := httptest.NewServer(http.NotFoundHandler())
+	addr := ts.URL
+	ts.Close()
+
+	c := &Client{BaseURL: addr, Retry: fastRetry()}
+	start := time.Now()
+	_, err := c.Explore(context.Background(), Request{App: "redis"})
+	if err == nil {
+		t.Fatal("want dial error against a dead daemon")
+	}
+	// Three backoffs happened (bounded — the whole thing stays fast).
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("retries took %v; backoff unbounded?", d)
+	}
+}
+
+func TestClientZeroPolicySingleAttempt(t *testing.T) {
+	f := &flakyExplore{failures: 1, status: http.StatusServiceUnavailable, respond: completeResponse("ok\n")}
+	ts := httptest.NewServer(f)
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL} // no Retry: one attempt, back-compat
+	_, err := c.Explore(context.Background(), Request{App: "redis"})
+	if err == nil || !strings.Contains(err.Error(), "HTTP 503") {
+		t.Fatalf("want single-attempt 503 failure, got %v", err)
+	}
+	if got := f.attempts.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 without a policy", got)
+	}
+}
+
+// TestClientStreamResumesAfterMidStreamCut severs a streamed response
+// after two lines; the retried stream replays from the start and the
+// client must deliver every line exactly once, in order.
+func TestClientStreamResumesAfterMidStreamCut(t *testing.T) {
+	lines := []string{"line-0", "line-1", "line-2", "line-3"}
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := attempts.Add(1)
+		fl := w.(http.Flusher)
+		for i, l := range lines {
+			if n == 1 && i == 2 {
+				// Sever the connection mid-stream: the client sees an
+				// unexpected EOF after two delivered lines.
+				hj := w.(http.Hijacker)
+				conn, _, _ := hj.Hijack()
+				conn.Close()
+				return
+			}
+			json.NewEncoder(w).Encode(Response{Line: l})
+			fl.Flush()
+		}
+		json.NewEncoder(w).Encode(Response{Key: "k", Report: "done\n"})
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, Retry: fastRetry()}
+	var got []string
+	resp, err := c.ExploreStream(context.Background(), Request{App: "redis"}, func(l string) { got = append(got, l) })
+	if err != nil {
+		t.Fatalf("stream with mid-stream cut: %v", err)
+	}
+	if resp.Report != "done\n" {
+		t.Fatalf("final report %q", resp.Report)
+	}
+	if want := strings.Join(lines, ","); strings.Join(got, ",") != want {
+		t.Fatalf("delivered lines %v, want %v (exactly once, in order)", got, lines)
+	}
+	if attempts.Load() != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts.Load())
+	}
+}
+
+// TestClientStreamDoesNotRetryServerError: an in-band error event is
+// the daemon's deterministic verdict, not a transport failure.
+func TestClientStreamDoesNotRetryServerError(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		attempts.Add(1)
+		json.NewEncoder(w).Encode(Response{Error: "exploration failed"})
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, Retry: fastRetry()}
+	_, err := c.ExploreStream(context.Background(), Request{App: "redis"}, nil)
+	if err == nil || !strings.Contains(err.Error(), "exploration failed") {
+		t.Fatalf("want the daemon's error, got %v", err)
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("attempts = %d, want 1", attempts.Load())
+	}
+}
+
+func TestRetryBackoffBoundedAndJittered(t *testing.T) {
+	p := &RetryPolicy{MaxAttempts: 10, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}
+	for n := 0; n < 30; n++ {
+		d := p.backoff(n)
+		if d < 5*time.Millisecond || d > 80*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v outside [base/2, max]", n, d)
+		}
+	}
+	// Deep attempts saturate at MaxDelay (no overflow back to tiny).
+	for n := 20; n < 64; n += 7 {
+		if d := p.backoff(n); d < 40*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v; saturation broken", n, d)
+		}
+	}
+}
+
+func TestClientPullAndJoin(t *testing.T) {
+	var joined atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case JoinPath:
+			var jr JoinRequest
+			json.NewDecoder(r.Body).Decode(&jr)
+			joined.Store(jr.URL)
+			fmt.Fprintln(w, "ok")
+		case PullPath:
+			if r.URL.Query().Get("gen") != "g1" {
+				json.NewEncoder(w).Encode(PullPage{Gen: "g1", Cursor: 1, More: true,
+					Records: []Record{{Key: "ns\x00a"}}})
+				return
+			}
+			json.NewEncoder(w).Encode(PullPage{Gen: "g1", Cursor: 2,
+				Records: []Record{{Key: "ns\x00b"}}})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, Retry: fastRetry()}
+	ctx := context.Background()
+	if err := c.Join(ctx, "http://worker:1"); err != nil {
+		t.Fatal(err)
+	}
+	if joined.Load() != "http://worker:1" {
+		t.Fatalf("join registered %v", joined.Load())
+	}
+	p1, err := c.Pull(ctx, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Gen != "g1" || !p1.More || len(p1.Records) != 1 || p1.Records[0].Key != "ns\x00a" {
+		t.Fatalf("first page %+v", p1)
+	}
+	p2, err := c.Pull(ctx, p1.Gen, p1.Cursor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.More || p2.Cursor != 2 || len(p2.Records) != 1 || p2.Records[0].Key != "ns\x00b" {
+		t.Fatalf("second page %+v", p2)
+	}
+}
+
+// TestClientHealthzSingleShot: Healthz is a failure detector's probe —
+// it reports the first answer and never retries, even with a retry
+// policy configured (retries would blur the strike signal).
+func TestClientHealthzSingleShot(t *testing.T) {
+	var attempts atomic.Int64
+	healthy := atomic.Bool{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		if !healthy.Load() {
+			http.Error(w, "sick", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, Retry: fastRetry()}
+	if err := c.Healthz(context.Background()); err == nil {
+		t.Fatal("healthz reported a sick daemon healthy")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("healthz probed %d times; must be single-shot", got)
+	}
+	healthy.Store(true)
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -204,6 +204,17 @@ type memoEntry struct {
 // NewMemo returns an empty measurement cache.
 func NewMemo() *Memo { return &Memo{entries: make(map[string]*memoEntry)} }
 
+// MemoKey composes the memo/store key of one configuration under a
+// workload namespace: the namespace and the configuration's canonical
+// identity, NUL-joined (NUL cannot appear in either part). This is the
+// key Memo and Backing operate on, the record key a result store
+// persists, and — because it is reproducible from (namespace, config)
+// alone — the unit of exchange when runs ship results to each other
+// (shard-merge, cluster store sync).
+func MemoKey(workload string, c *Config) string {
+	return workload + "\x00" + c.Key()
+}
+
 // NewBackedMemo returns a measurement cache whose misses fall through
 // to a persistent backing and whose fresh measurements write through
 // to it. A nil backing is equivalent to NewMemo.
@@ -492,7 +503,7 @@ func (Engine) Run(ctx context.Context, req Request) (*Result, error) {
 	var twins map[int32][]int32
 	group := make(map[string]int32, n)
 	for i, c := range cfgs {
-		keys[i] = req.Workload + "\x00" + c.Key()
+		keys[i] = MemoKey(req.Workload, c)
 		if first, ok := group[keys[i]]; ok {
 			canon[i] = first
 			if twins == nil {

@@ -42,12 +42,16 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"flexos"
 	"flexos/internal/cli"
+	"flexos/internal/cluster"
 	"flexos/internal/explore"
 	"flexos/internal/store"
 )
@@ -66,6 +70,22 @@ type Config struct {
 	// CacheReadOnly opens it load-only.
 	CacheDir      string
 	CacheReadOnly bool
+	// Cluster, when non-nil, makes this daemon a cluster coordinator:
+	// workers register on /v1/cluster/join, and eligible exploration
+	// requests gather shard records from the fleet before the local
+	// re-rank (see runFlight). The server installs the coordinator's
+	// inline fallback and starts its failure detector.
+	//
+	// Budgeted (measure_budget > 0) and delta-only requests never fan
+	// out: a budgeted run decides strictly more on a warm memo than a
+	// cold one would, and a delta re-exploration diffs against this
+	// node's store — both are node-local semantics, served locally.
+	Cluster *cluster.Coordinator
+	// SelfURL is the daemon's own advertised base URL, when known. A
+	// coordinator refuses a worker joining under this URL: dispatching
+	// to yourself coalesces the sub-request onto the flight that
+	// issued it — a deadlock, not a fleet.
+	SelfURL string
 }
 
 // Stats is the /statsz document.
@@ -101,6 +121,23 @@ type Stats struct {
 	// StoreFlushErrors counts failed post-flight store flushes (the
 	// cache degrades; serving continues).
 	StoreFlushErrors int64 `json:"store_flush_errors,omitempty"`
+	// SyncLogLen is the store-sync log length — the upper bound of a
+	// peer's pull cursor. RecordsIngested counts records learned from
+	// peers (gathered shards, pulled pages); IngestConflicts those
+	// dropped because they disagreed with a local value; PullPages and
+	// PullErrors describe this node's own puller.
+	SyncLogLen      int   `json:"sync_log_len"`
+	RecordsIngested int64 `json:"records_ingested"`
+	IngestConflicts int64 `json:"ingest_conflicts,omitempty"`
+	PullPages       int64 `json:"pull_pages,omitempty"`
+	PullErrors      int64 `json:"pull_errors,omitempty"`
+	// ClusterDegraded counts coordinator flights that fell back to a
+	// plain local run because the gather itself failed.
+	ClusterDegraded int64 `json:"cluster_degraded,omitempty"`
+	// Cluster is the coordinator's fleet view — membership and the
+	// per-worker dispatch/re-dispatch/failure counters — when this
+	// daemon coordinates one.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 }
 
 // Server is the exploration service. Create it with New, serve it as
@@ -110,6 +147,7 @@ type Server struct {
 	cfg   Config
 	memo  *explore.Memo
 	st    *store.Store
+	sync  *syncLog
 	start time.Time
 
 	baseCtx    context.Context
@@ -134,13 +172,16 @@ type Server struct {
 type flight struct {
 	key          string
 	scenarioMode bool
+	ns           string      // memo namespace (canonical across subscribers)
+	creq         cli.Request // the first subscriber's request (canonical-equal to all)
 	ctx          context.Context
 	cancel       context.CancelFunc
 
-	mu     sync.Mutex
-	lines  []string      // streamed measurements, in Query.Stream order
-	notify chan struct{} // closed and replaced on every append
-	subs   int
+	mu      sync.Mutex
+	lines   []string      // streamed measurements, in Query.Stream order
+	notify  chan struct{} // closed and replaced on every append
+	subs    int
+	records []cli.Record // partial-result codec, rendered on demand
 
 	done chan struct{} // closed after res/err are set
 	res  *flexos.ExploreResult
@@ -162,6 +203,18 @@ func (f *flight) snapshot(from int) ([]string, chan struct{}) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.lines[from:], f.notify
+}
+
+// recordsOnce renders the flight's partial-result codec on first
+// demand (a coordinator asking include_records), caching it for the
+// other subscribers. Only valid after the flight is done.
+func (f *flight) recordsOnce() []cli.Record {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.records == nil && f.res != nil {
+		f.records = cli.RecordsOf(f.ns, f.res)
+	}
+	return f.records
 }
 
 // New creates a Server, opening the persistent store when configured.
@@ -193,11 +246,34 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.st = st
-		s.memo = explore.NewBackedMemo(st)
-	} else {
-		s.memo = explore.NewMemo()
+	}
+	// The sync log sits between the memo and the store: it sees every
+	// record the daemon learns (write-through, open, peer ingest) and
+	// is what /v1/store/pull pages out to other nodes.
+	s.sync = newSyncLog(s.st, cfg.CacheReadOnly)
+	s.memo = explore.NewBackedMemo(s.sync)
+	if cfg.Cluster != nil {
+		cfg.Cluster.SetLocal(s.localRecords)
+		cfg.Cluster.StartHealth(s.baseCtx)
 	}
 	return s, nil
+}
+
+// localRecords is the coordinator's inline fallback: run the shard
+// sub-request on this node's own engine (through the shared memo, so
+// fresh measurements enter the sync log) and answer the partial-result
+// codec. ErrNoFeasible is a complete answer, not a failure.
+func (s *Server) localRecords(ctx context.Context, sub cli.Request) ([]cli.Record, error) {
+	q, info, err := sub.Build()
+	if err != nil {
+		return nil, err
+	}
+	q.Workers(s.cfg.Workers).Memo(s.memo)
+	res, err := q.Run(ctx)
+	if err != nil && !errors.Is(err, flexos.ErrNoFeasible) {
+		return nil, err
+	}
+	return cli.RecordsOf(info.Namespace, res), nil
 }
 
 // Abort stops accepting new requests and cancels every in-flight
@@ -241,9 +317,13 @@ func (s *Server) Stats() Stats {
 		st.HitRatePct = 100 * float64(st.MemoHits) / float64(st.Evaluated+st.MemoHits)
 	}
 	st.MemoEntries = s.memo.Len()
+	st.SyncLogLen = s.sync.len()
 	if s.st != nil {
 		ss := s.st.Stats()
 		st.Store = &ss
+	}
+	if s.cfg.Cluster != nil {
+		st.Cluster = s.cfg.Cluster.Stats()
 	}
 	return st
 }
@@ -257,9 +337,79 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.handleStatsz(w, r)
 	case cli.ExplorePath:
 		s.handleExplore(w, r)
+	case cli.JoinPath:
+		s.handleJoin(w, r)
+	case cli.MembersPath:
+		s.handleMembers(w, r)
+	case cli.PullPath:
+		s.handlePull(w, r)
 	default:
 		http.NotFound(w, r)
 	}
+}
+
+// handleJoin registers a worker with the coordinator (idempotent; a
+// worker heartbeats re-joins). Plain daemons answer 404: joining is a
+// coordinator capability.
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Cluster == nil {
+		http.Error(w, "not a coordinator", http.StatusNotFound)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4096))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("read join request: %v", err))
+		return
+	}
+	var jr cli.JoinRequest
+	if err := json.Unmarshal(data, &jr); err != nil || jr.URL == "" {
+		writeError(w, http.StatusBadRequest, "join body must be {\"url\": \"http://worker:port\"}")
+		return
+	}
+	u, err := url.Parse(jr.URL)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("join url %q is not an absolute http(s) base URL", jr.URL))
+		return
+	}
+	worker := strings.TrimSuffix(jr.URL, "/")
+	if s.cfg.SelfURL != "" && worker == strings.TrimSuffix(s.cfg.SelfURL, "/") {
+		writeError(w, http.StatusBadRequest, "a coordinator cannot join itself as a worker")
+		return
+	}
+	s.cfg.Cluster.Join(worker)
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "members": len(s.cfg.Cluster.Stats().Workers)})
+}
+
+// handleMembers reports the coordinator's fleet view.
+func (s *Server) handleMembers(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Cluster == nil {
+		http.Error(w, "not a coordinator", http.StatusNotFound)
+		return
+	}
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Cluster.Stats())
+}
+
+// handlePull serves one page of the store-sync log to a peer.
+func (s *Server) handlePull(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	since, err := strconv.Atoi(q.Get("since"))
+	if q.Get("since") != "" && err != nil {
+		writeError(w, http.StatusBadRequest, "since must be an integer cursor")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sync.page(q.Get("gen"), since))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -298,7 +448,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	key := q.CanonicalKey()
 
-	f, coalesced, err := s.attach(key, q, info, req.Workers)
+	f, coalesced, err := s.attach(key, q, info, &req)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
@@ -323,7 +473,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 
 // attach joins the request to the in-flight run for key, starting one
 // when none exists.
-func (s *Server) attach(key string, q *flexos.Query, info *cli.BuildInfo, workers int) (*flight, bool, error) {
+func (s *Server) attach(key string, q *flexos.Query, info *cli.BuildInfo, req *cli.Request) (*flight, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -341,6 +491,8 @@ func (s *Server) attach(key string, q *flexos.Query, info *cli.BuildInfo, worker
 	f := &flight{
 		key:          key,
 		scenarioMode: info.ScenarioMode,
+		ns:           info.Namespace,
+		creq:         *req,
 		ctx:          ctx,
 		cancel:       cancel,
 		notify:       make(chan struct{}),
@@ -349,7 +501,7 @@ func (s *Server) attach(key string, q *flexos.Query, info *cli.BuildInfo, worker
 	}
 	s.flights[key] = f
 	s.stats.InFlight++
-	if workers <= 0 {
+	if req.Workers <= 0 {
 		q.Workers(s.cfg.Workers)
 	}
 	q.Memo(s.memo)
@@ -423,6 +575,31 @@ func (s *Server) runFlight(f *flight, q *flexos.Query) {
 		s.onFlightStart(f.key)
 	}
 
+	// Coordinator path: gather the shards' partial results from the
+	// fleet and replay them into the sync log (and through it, the
+	// memo's backing) BEFORE the local pass. The pass below then runs
+	// fully warm — every configuration the workers measured is a
+	// backing hit, indistinguishable from a fresh measurement — so the
+	// streamed lines and report are byte-identical to a single-node
+	// run, and anything the cluster failed to deliver (a dead worker,
+	// a dropped conflict) is simply measured here, same bytes either
+	// way. Budgeted and delta-only requests skip the fan-out: their
+	// semantics are node-local (see Config.Cluster).
+	if c := s.cfg.Cluster; c != nil && f.creq.MeasureBudget == 0 && !f.creq.DeltaOnly {
+		recs, gerr := c.Gather(f.ctx, f.creq)
+		if gerr == nil {
+			added, conflicts := s.sync.ingest(recs)
+			s.mu.Lock()
+			s.stats.RecordsIngested += int64(added)
+			s.stats.IngestConflicts += int64(conflicts)
+			s.mu.Unlock()
+		} else if f.ctx.Err() == nil {
+			s.mu.Lock()
+			s.stats.ClusterDegraded++
+			s.mu.Unlock()
+		}
+	}
+
 	// Always run streaming: the decided lines are shared state every
 	// streaming subscriber replays and then follows, whatever moment
 	// it attached, so all of them see the same byte sequence.
@@ -458,11 +635,15 @@ func render(f *flight, req *cli.Request, info *cli.BuildInfo) (cli.Response, int
 		return cli.Response{Key: f.key, Error: f.err.Error()}, status
 	}
 	st := cli.StatsOf(f.res)
-	return cli.Response{
+	resp := cli.Response{
 		Key:    f.key,
 		Report: cli.RenderReport(info.Title, f.res, info.Constraints, info.ScenarioMode, req.Pareto, req.Verbose, noFeasible),
 		Stats:  &st,
-	}, http.StatusOK
+	}
+	if req.IncludeRecords {
+		resp.Records = f.recordsOnce()
+	}
+	return resp, http.StatusOK
 }
 
 func (s *Server) respondComplete(w http.ResponseWriter, ctx context.Context, f *flight, req *cli.Request, info *cli.BuildInfo) {

@@ -9,9 +9,11 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"flexos"
 	"flexos/internal/cli"
+	"flexos/internal/cluster"
 )
 
 // End-to-end service harness: every test drives the real handler over
@@ -295,6 +297,15 @@ func TestServeHealthzStatsz(t *testing.T) {
 	if st.Evaluated == 0 || st.MemoEntries == 0 {
 		t.Errorf("stats did not accumulate run statistics: %+v", st)
 	}
+	if st.UptimeMs <= 0 {
+		t.Errorf("uptime gauge did not advance: %+v", st)
+	}
+	if st.InFlight != 0 || st.Subscribers != 0 {
+		t.Errorf("gauges nonzero after the flight completed: %+v", st)
+	}
+	if st.SyncLogLen == 0 {
+		t.Errorf("sync log empty after a completed run: %+v", st)
+	}
 
 	res, err := client.HTTPClient.Get(client.BaseURL + "/statsz")
 	if err != nil {
@@ -307,5 +318,50 @@ func TestServeHealthzStatsz(t *testing.T) {
 	}
 	if wire.Requests != 1 || wire.FlightsStarted != 1 {
 		t.Errorf("/statsz: %+v", wire)
+	}
+	if wire.UptimeMs <= 0 || wire.InFlight != 0 || wire.SyncLogLen == 0 {
+		t.Errorf("/statsz gauges: %+v", wire)
+	}
+}
+
+// TestStatszClusterSection: a coordinator's /statsz carries the fleet
+// view — one row per worker with dispatch / re-dispatch / failure
+// counters — and the exact JSON field names clients scrape.
+func TestStatszClusterSection(t *testing.T) {
+	co := cluster.New(cluster.Config{HealthInterval: time.Hour})
+	co.Join("http://worker-a:1")
+	co.Join("http://worker-b:1")
+	_, client := newTestServer(t, Config{Cluster: co, SelfURL: "http://coordinator:1"})
+
+	res, err := client.HTTPClient.Get(client.BaseURL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var wire map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"uptime_ms", "in_flight", "sync_log_len", "cluster"} {
+		if _, ok := wire[key]; !ok {
+			t.Fatalf("/statsz missing %q: %v", key, wire)
+		}
+	}
+	cl, ok := wire["cluster"].(map[string]any)
+	if !ok {
+		t.Fatalf("cluster section is not an object: %v", wire["cluster"])
+	}
+	workers, ok := cl["workers"].([]any)
+	if !ok || len(workers) != 2 {
+		t.Fatalf("cluster.workers: %v", cl["workers"])
+	}
+	row, ok := workers[0].(map[string]any)
+	if !ok {
+		t.Fatalf("worker row: %v", workers[0])
+	}
+	for _, key := range []string{"url", "alive", "dispatched", "redispatched", "failures"} {
+		if _, present := row[key]; !present {
+			t.Fatalf("worker row missing %q: %v", key, row)
+		}
 	}
 }

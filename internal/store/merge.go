@@ -23,6 +23,31 @@ type MergeStats struct {
 	PerInput []int
 }
 
+// ConflictError is the typed error Merge returns when two input stores
+// disagree on a record: the same memo key carries two different metric
+// vectors, which means the stores were produced by disagreeing measure
+// functions and neither value can be trusted. It names the conflicting
+// key, its content address, the two source directories and both
+// vectors, so the caller (flexos-merge, a cluster coordinator) can
+// report exactly which entry collided and where each side came from.
+type ConflictError struct {
+	// Key is the conflicting record key (memo namespace NUL-joined
+	// with the configuration's canonical identity).
+	Key string
+	// Addr is the key's 16-hex-digit content address (Addr(Key)).
+	Addr string
+	// DirA and DirB are the two source store directories holding the
+	// disagreeing records, in merge argument order.
+	DirA, DirB string
+	// A and B are the disagreeing metric vectors, from DirA and DirB.
+	A, B scenario.Metrics
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("store: merge: key %q (addr %s) conflicts: %s has %v, %s has %v: the stores were produced by disagreeing measurements",
+		e.Key, e.Addr, e.DirA, e.A, e.DirB, e.B)
+}
+
 // Merge combines the indexes of several stores (typically one per
 // exploration shard) into a fresh store at outDir.
 //
@@ -72,8 +97,11 @@ func Merge(outDir string, inDirs ...string) (MergeStats, error) {
 				continue
 			}
 			if prev.metrics != m {
-				return st, fmt.Errorf("store: merge: key %s (addr %s) conflicts between %s and %s: the shard stores were produced by disagreeing measurements",
-					key, Addr(key), prev.dir, dir)
+				return st, &ConflictError{
+					Key: key, Addr: Addr(key),
+					DirA: prev.dir, DirB: dir,
+					A: prev.metrics, B: m,
+				}
 			}
 			st.Overlaps++
 		}

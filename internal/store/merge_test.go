@@ -1,6 +1,7 @@
 package store_test
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -72,6 +73,27 @@ func TestMergeConflictingOverlapFails(t *testing.T) {
 	_, err := store.Merge(filepath.Join(base, "m"), filepath.Join(base, "a"), filepath.Join(base, "b"))
 	if err == nil || !strings.Contains(err.Error(), "conflict") {
 		t.Fatalf("want conflict error, got %v", err)
+	}
+
+	// The error is typed and names the colliding record and both
+	// sources, so callers can report exactly what disagreed.
+	var ce *store.ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *store.ConflictError, got %T: %v", err, err)
+	}
+	if ce.Key != "ns\x00k" || ce.Addr != store.Addr("ns\x00k") {
+		t.Fatalf("conflict names key %q addr %q", ce.Key, ce.Addr)
+	}
+	if ce.DirA != filepath.Join(base, "a") || ce.DirB != filepath.Join(base, "b") {
+		t.Fatalf("conflict names dirs %q / %q", ce.DirA, ce.DirB)
+	}
+	if ce.A == ce.B {
+		t.Fatalf("conflict carries identical vectors: %+v", ce.A)
+	}
+	for _, want := range []string{"ns\\x00k", ce.Addr, ce.DirA, ce.DirB} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("conflict message %q missing %q", err.Error(), want)
+		}
 	}
 }
 

@@ -263,6 +263,19 @@ func (q *Query) CanonicalKey() string {
 		q.budget, q.seed, q.deltaOnly)
 }
 
+// MemoNamespace returns the composed memo namespace the query's
+// measurements are keyed under — the caller's Namespace joined with
+// the Workload's identity. Together with a configuration it
+// reproduces the exact memo/store key of that measurement (see
+// MemoKey), which is how partial results travel between runs: a
+// worker answering a shard reports (key, metrics) records, and any
+// node holding the same namespace can replay them into its own memo.
+func (q *Query) MemoNamespace() string { return q.namespaceKey() }
+
+// SpaceSize returns the number of configurations the query would
+// enumerate before sharding — the denominator of any Shard split.
+func (q *Query) SpaceSize() int { return len(q.space) }
+
 // Namespace adds a caller-defined namespace component to the memo keys
 // (e.g. a request count baked into a custom measure function). It
 // composes with — never replaces — the Workload's own namespace.
