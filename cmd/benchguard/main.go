@@ -1,7 +1,8 @@
 // Command benchguard is the benchmark-regression gate for the
-// exploration engine: it runs the BenchmarkQuery* benchmarks and
-// fails when any of them slowed down by more than the tolerance
-// (default 20%) against the checked-in baseline.
+// exploration engine and the trace-driven serving path: it runs the
+// BenchmarkQuery* and BenchmarkServeTrace* benchmarks and fails when
+// any of them slowed down by more than the tolerance (default 20%)
+// against the checked-in baseline.
 //
 // Raw ns/op is meaningless across machines, so the guard normalizes
 // twice: every benchmark is expressed as a ratio to the single-worker
@@ -16,7 +17,7 @@
 //
 // The guard also maintains the repo's perf trajectory: -update writes
 // the normalized table a second time as a PR-numbered JSON record
-// (BENCH_0007.json) meant to be checked in next to the baseline, and
+// (BENCH_0008.json) meant to be checked in next to the baseline, and
 // guard mode fails when that record is missing or stale — i.e. when
 // someone moved baseline.txt without regenerating the record. -json
 // additionally dumps the *current run's* normalized table, which CI
@@ -48,7 +49,7 @@ const reference = "BenchmarkQueryFig6Sequential"
 // recordID names the checked-in perf-trajectory record this tree
 // maintains; bump it when a PR re-baselines the engine benchmarks so
 // the repo history keeps one record per baseline generation.
-const recordID = "BENCH_0007"
+const recordID = "BENCH_0008"
 
 func main() {
 	update := flag.Bool("update", false, "rewrite the baseline file from this run")
@@ -60,7 +61,7 @@ func main() {
 	// back to back, so its ns/op spans two runs and carries twice the
 	// scheduling variance while adding no coverage beyond the
 	// Fig6Sequential / Fig6Parallel pair.
-	pattern := flag.String("bench", "^BenchmarkQuery(Fig6|CrossAppSpace|MemoizedSweep|Synthetic)", "benchmark pattern to guard")
+	pattern := flag.String("bench", "^BenchmarkQuery(Fig6|CrossAppSpace|MemoizedSweep|Synthetic)|^BenchmarkServeTrace", "benchmark pattern to guard")
 	baseline := flag.String("baseline", filepath.Join("cmd", "benchguard", "baseline.txt"), "baseline file")
 	record := flag.String("record", recordID+".json", "checked-in JSON record of the baseline's normalized table (written by -update, verified fresh otherwise; empty disables)")
 	jsonOut := flag.String("json", "", "write this run's normalized table to this JSON file (CI artifact)")
@@ -241,7 +242,7 @@ func writeBaseline(path string, ratios, nsop map[string]float64, ref float64) er
 	}
 	sort.Strings(names)
 	var b strings.Builder
-	b.WriteString("# benchguard baseline: ns/op ratio of each BenchmarkQuery* to\n")
+	b.WriteString("# benchguard baseline: ns/op ratio of each guarded benchmark to\n")
 	fmt.Fprintf(&b, "# %s, regenerated with `go run ./cmd/benchguard -update`.\n", reference)
 	fmt.Fprintf(&b, "# reference absolute: %.0f ns/op (informational, machine-dependent)\n", ref)
 	for _, name := range names {
@@ -254,8 +255,8 @@ func writeBaseline(path string, ratios, nsop map[string]float64, ref float64) er
 // record and of the per-run -json artifact: the full normalized table
 // plus the machine-dependent absolutes for human eyes.
 type benchRecord struct {
-	ID        string     `json:"id"`
-	Reference string     `json:"reference"`
+	ID        string `json:"id"`
+	Reference string `json:"reference"`
 	// ReferenceNsOp is informational and machine-dependent; only the
 	// ratios are comparable across machines.
 	ReferenceNsOp float64    `json:"reference_ns_op"`

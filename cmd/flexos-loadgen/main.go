@@ -1,0 +1,180 @@
+// Command flexos-loadgen replays a traffic trace against a running
+// flexos-serve daemon or cluster coordinator and reports what the
+// serving stack did under it: throughput, error and retry counts, and
+// per-phase nearest-rank latency histograms (p50/p95/p99/max), as a
+// human summary on stderr and a machine-readable JSON report.
+//
+// The trace comes from a file (-trace, the checksummed JSONL format of
+// internal/trace) or from the deterministic synthesizer (-synth with a
+// shape name — diurnal | flash | shift — scaled to -synth-duration and
+// pinned by -seed). The issue schedule is derived up front from
+// (trace, seed, speedup, rate, duration) alone, so the request
+// sequence is byte-identical at any -conns: concurrency decides who
+// waits, never what is sent or in which order. -dump-schedule prints
+// that schedule and exits — CI byte-compares dumps to enforce the
+// contract without booting a server.
+//
+// By default the generator is open-loop: requests go out at their
+// scheduled times whether or not earlier ones have returned (queueing
+// delay lands in measured latency, as it must under overload).
+// -closed switches to closed-loop saturation: each connection issues
+// the next request as soon as its previous one completes.
+//
+// Usage:
+//
+//	flexos-loadgen -url http://127.0.0.1:8077 -trace ci/traces/smoke-30s.jsonl -speedup 10
+//	flexos-loadgen -url http://127.0.0.1:8070 -synth diurnal -synth-duration 30s -seed 42 -conns 8
+//	flexos-loadgen -trace t.jsonl -rate 20 -duration 5s -closed -report report.json
+//	flexos-loadgen -synth shift -seed 7 -write ci/traces/shift.jsonl
+//	flexos-loadgen -trace ci/traces/smoke-30s.jsonl -dump-schedule
+//
+// The exit status is 0 only when every request succeeded, so a compose
+// health gate or CI job can use the generator itself as the assertion.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"flexos/internal/cli"
+	"flexos/internal/trace"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8077", "flexos-serve daemon or coordinator base URL")
+	traceFile := flag.String("trace", "", "trace file to replay (flexos-trace JSONL)")
+	synth := flag.String("synth", "", "synthesize the trace instead: "+strings.Join(shapeNames(), " | "))
+	synthDur := flag.Duration("synth-duration", 30*time.Second, "trace-time span of a -synth trace")
+	seed := flag.Int64("seed", 42, "synthesis seed; pins every arrival and mix draw of -synth")
+	speedup := flag.Float64("speedup", 1, "replay N× faster than trace time")
+	rate := flag.Float64("rate", 0, "override trace timing: issue uniformly at this many requests/s (order preserved)")
+	duration := flag.Duration("duration", 0, "truncate the trace to its first span of trace time (0: whole trace)")
+	conns := flag.Int("conns", 4, "max concurrent in-flight requests")
+	closed := flag.Bool("closed", false, "closed loop: ignore timestamps, saturate the connections")
+	report := flag.String("report", "", "write the JSON report here (\"-\": stdout)")
+	write := flag.String("write", "", "write the (synthesized or re-encoded) trace here and exit")
+	dump := flag.Bool("dump-schedule", false, "print the derived issue schedule and exit (determinism probe)")
+	flag.Parse()
+
+	if err := run(*url, *traceFile, *synth, *synthDur, *seed, *speedup, *rate, *duration, *conns, *closed, *report, *write, *dump); err != nil {
+		fmt.Fprintf(os.Stderr, "flexos-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func shapeNames() []string {
+	names := make([]string, 0, len(trace.Shapes))
+	for name := range trace.Shapes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func run(url, traceFile, synth string, synthDur time.Duration, seed int64, speedup, rate float64,
+	duration time.Duration, conns int, closed bool, reportPath, writePath string, dump bool) error {
+	tr, err := loadTrace(traceFile, synth, synthDur, seed)
+	if err != nil {
+		return err
+	}
+	if writePath != "" {
+		if err := tr.WriteFile(writePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "flexos-loadgen: wrote %d events spanning %.1fs to %s\n",
+			len(tr.Events), float64(tr.DurationMs())/1000, writePath)
+		return nil
+	}
+
+	sched := trace.BuildSchedule(tr, trace.ScheduleOpts{
+		Speedup:    speedup,
+		Rate:       rate,
+		DurationMs: duration.Milliseconds(),
+	})
+	if dump {
+		return trace.DumpSchedule(os.Stdout, sched)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	client := &cli.Client{BaseURL: url, Retry: cli.DefaultRetry}
+	fmt.Fprintf(os.Stderr, "flexos-loadgen: replaying %d requests (%s) against %s at %d conns\n",
+		len(sched), tr.Name, url, conns)
+	rep, rerr := trace.Replay(ctx, tr.Name, sched, trace.ReplayOpts{
+		Client: client, Conns: conns, ClosedLoop: closed, Seed: seed,
+	})
+	if rep != nil {
+		rep.Retries = client.Retries()
+		printSummary(rep)
+		if err := writeReport(reportPath, rep); err != nil {
+			return err
+		}
+	}
+	if rerr != nil {
+		return rerr
+	}
+	if rep.Failed > 0 {
+		return fmt.Errorf("%d of %d requests failed", rep.Failed, rep.Issued)
+	}
+	return nil
+}
+
+func loadTrace(traceFile, synth string, synthDur time.Duration, seed int64) (*trace.Trace, error) {
+	switch {
+	case traceFile != "" && synth != "":
+		return nil, fmt.Errorf("-trace and -synth are mutually exclusive")
+	case traceFile != "":
+		tr, st, err := trace.ReadFile(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		if st.CorruptEvents > 0 {
+			fmt.Fprintf(os.Stderr, "flexos-loadgen: %s: truncated at corruption, dropped %d line(s), kept %d events\n",
+				traceFile, st.CorruptEvents, st.Events)
+		}
+		return tr, nil
+	case synth != "":
+		shape, ok := trace.Shapes[synth]
+		if !ok {
+			return nil, fmt.Errorf("unknown -synth shape %q (have: %s)", synth, strings.Join(shapeNames(), ", "))
+		}
+		return trace.Synthesize(shape(seed, synthDur.Milliseconds()))
+	default:
+		return nil, fmt.Errorf("need -trace FILE or -synth SHAPE")
+	}
+}
+
+func printSummary(rep *trace.Report) {
+	fmt.Fprintf(os.Stderr, "flexos-loadgen: %s loop, %d issued, %d ok, %d failed, %d retries in %.1fs (%.1f req/s)\n",
+		rep.Mode, rep.Issued, rep.Ok, rep.Failed, rep.Retries, float64(rep.WallMs)/1000, rep.Rps)
+	fmt.Fprintf(os.Stderr, "flexos-loadgen:   overall  p50 %.1fms  p95 %.1fms  p99 %.1fms  max %.1fms\n",
+		rep.Latency.P50, rep.Latency.P95, rep.Latency.P99, rep.Latency.Max)
+	for _, ph := range rep.Phases {
+		fmt.Fprintf(os.Stderr, "flexos-loadgen:   %-8s %4d req (%d failed)  p50 %.1fms  p95 %.1fms  p99 %.1fms  max %.1fms\n",
+			ph.Phase, ph.Requests, ph.Failed, ph.Latency.P50, ph.Latency.P95, ph.Latency.P99, ph.Latency.Max)
+	}
+}
+
+func writeReport(path string, rep *trace.Report) error {
+	if path == "" {
+		return nil
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"flexos/internal/serve"
+	"flexos/internal/trace"
+)
+
+func TestLoadTraceArgValidation(t *testing.T) {
+	if _, err := loadTrace("", "", time.Second, 1); err == nil {
+		t.Fatal("no -trace and no -synth must error")
+	}
+	if _, err := loadTrace("x.jsonl", "diurnal", time.Second, 1); err == nil {
+		t.Fatal("-trace and -synth together must error")
+	}
+	if _, err := loadTrace("", "no-such-shape", time.Second, 1); err == nil ||
+		!strings.Contains(err.Error(), "diurnal") {
+		t.Fatalf("unknown shape should list the known ones, got %v", err)
+	}
+	tr, err := loadTrace("", "flash", 5*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 || tr.Seed != 7 {
+		t.Fatalf("synthesized trace: %d events seed %d", len(tr.Events), tr.Seed)
+	}
+}
+
+func TestRunWriteThenDump(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.jsonl")
+	if err := run("", "", "shift", 4*time.Second, 3, 1, 0, 0, 4, false, "", path, false); err != nil {
+		t.Fatal(err)
+	}
+	tr, st, err := trace.ReadFile(path)
+	if err != nil || st.CorruptEvents != 0 {
+		t.Fatalf("written trace unreadable: %v (%+v)", err, st)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("empty written trace")
+	}
+	// loadTrace must read the same file back, and a truncated copy
+	// must still load with a warning rather than failing.
+	if _, err := loadTrace(path, "", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", path, "", 0, 0, 1, 0, 0, 4, false, "", "", true); err != nil {
+		t.Fatalf("dump-schedule: %v", err)
+	}
+	if err := run("", filepath.Join(dir, "missing.jsonl"), "", 0, 0, 1, 0, 0, 4, false, "", "", true); err == nil {
+		t.Fatal("missing trace file must error")
+	}
+}
+
+// TestRunReplayEndToEnd drives the whole CLI path — synthesis,
+// schedule, closed-loop replay against an in-process daemon, summary
+// and JSON report — through run().
+func TestRunReplayEndToEnd(t *testing.T) {
+	srv, err := serve.New(serve.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	report := filepath.Join(t.TempDir(), "report.json")
+	if err := run(ts.URL, "", "flash", 4*time.Second, 11, 1000, 0, 0, 3, true, report, "", false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep trace.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 || rep.Issued == 0 || rep.Ok != rep.Issued {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.Mode != "closed" || rep.Conns != 3 || rep.ResponseSum == "" {
+		t.Fatalf("report wiring: mode=%s conns=%d sum=%q", rep.Mode, rep.Conns, rep.ResponseSum)
+	}
+	if rep.Latency.Count != rep.Issued || rep.Latency.P50 <= 0 {
+		t.Fatalf("latency summary: %+v", rep.Latency)
+	}
+}
+
+func TestShapeNamesSorted(t *testing.T) {
+	names := shapeNames()
+	if len(names) < 3 {
+		t.Fatalf("shapes: %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("not sorted: %v", names)
+		}
+	}
+}

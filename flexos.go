@@ -134,6 +134,10 @@ type (
 	// GET/SET mixes, Nginx keepalive mixes, iPerf stream counts,
 	// SQLite transaction batches).
 	Scenario = scenario.Scenario
+	// PhasedScenario is a time-varying workload: an ordered phase
+	// schedule over library scenarios ("redis-get90*3+redis-get50"),
+	// merged under worst-case provisioning semantics. See ParsePhased.
+	PhasedScenario = scenario.Phased
 )
 
 // Budget metrics for Query constraints (and the deprecated
@@ -419,6 +423,17 @@ func ScenarioByName(name string) (*Scenario, bool) { return scenario.ByName(name
 // ParseMetric resolves a metric name ("throughput", "p50", "p99",
 // "maxlat", "mem", "boot") into a Metric selector.
 func ParseMetric(s string) (Metric, error) { return scenario.ParseMetric(s) }
+
+// ParsePhased parses a phase-schedule spec — scenario names joined by
+// '+', each optionally weighted with "*N", e.g.
+// "redis-get90*3+redis-get50" — into a time-varying workload whose
+// phases all drive one application. The result plugs into
+// Query.Workload exactly like a plain Scenario.
+func ParsePhased(spec string) (*PhasedScenario, error) { return scenario.ParsePhased(spec) }
+
+// IsPhasedSpec reports whether a -scenario selector is a phase
+// schedule (contains '+' or '*') rather than a plain library name.
+func IsPhasedSpec(spec string) bool { return scenario.IsPhasedSpec(spec) }
 
 // MeasureScenario adapts a workload into an exploration measure
 // function: each configuration is materialized into an image spec (TCB

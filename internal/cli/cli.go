@@ -43,6 +43,17 @@ type Selection struct {
 // vectors (scenario mode) rather than throughput only.
 func (s Selection) Build() (q *flexos.Query, title string, scenarioMode bool, err error) {
 	if s.Scenario != "" {
+		if flexos.IsPhasedSpec(s.Scenario) {
+			ph, err := flexos.ParsePhased(s.Scenario)
+			if err != nil {
+				return nil, "", false, err
+			}
+			if s.Ops > 0 {
+				ph = ph.WithOps(s.Ops)
+			}
+			quad, _ := ph.Quad() // ParsePhased rejects quad-less phases
+			return flexos.NewQuery(flexos.Fig6Space(quad)).Workload(ph), ph.Name(), true, nil
+		}
 		sc, ok := flexos.ScenarioByName(s.Scenario)
 		if !ok {
 			return nil, "", false, fmt.Errorf("unknown scenario %q (try -list)", s.Scenario)

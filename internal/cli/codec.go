@@ -120,6 +120,14 @@ func (r *Request) Normalize() {
 	if r.Scenario != "" {
 		r.App = ""
 		r.Requests = 0
+		// Canonicalize phase-schedule spellings ("a *1 + b" →
+		// "a+b") so equal schedules encode — and coalesce — alike.
+		// An unparsable spec is left untouched for Build to reject.
+		if flexos.IsPhasedSpec(r.Scenario) {
+			if ph, err := flexos.ParsePhased(r.Scenario); err == nil {
+				r.Scenario = ph.Name()
+			}
+		}
 	} else {
 		r.Ops = 0
 		if r.Requests <= 0 {

@@ -21,6 +21,8 @@ func TestRequestEncodeDecodeRoundTrip(t *testing.T) {
 		{Scenario: "redis-pipe8", Budgets: []string{"throughput>=200000", "p99<=40"}, Stream: true},
 		{Scenario: "nginx-keep75", Metric: "p99", Budgets: []string{"3"}, TimeoutMs: 5000},
 		{Scenario: "redis-get50", Pareto: true, Exhaustive: true},
+		{Scenario: "redis-get90*3+redis-get50", Ops: 960},
+		{Scenario: "nginx-static+nginx-keepalive*2", Stream: true},
 	}
 	for _, r := range reqs {
 		enc := r.Encode()
@@ -48,6 +50,9 @@ func TestDecodeRequestRejects(t *testing.T) {
 		{"trailing garbage", `{"app":"redis"} {}`},
 		{"unknown app", `{"app":"plan9"}`},
 		{"unknown scenario", `{"scenario":"nope"}`},
+		{"phased unknown phase", `{"scenario":"redis-get90+nope"}`},
+		{"phased mixed apps", `{"scenario":"redis-get90+nginx-static"}`},
+		{"phased bad weight", `{"scenario":"redis-get90*0"}`},
 		{"bad metric", `{"metric":"zzz"}`},
 		{"bad budget", `{"budgets":["p99<="]}`},
 		{"bad shard syntax", `{"shard":"abc"}`},
@@ -86,9 +91,15 @@ func TestCanonicalKeyInvariants(t *testing.T) {
 		{Scenario: "redis-get90", Verbose: true},
 		{Scenario: "redis-get90", Stream: true},
 		{Scenario: "redis-get90", TimeoutMs: 5000},
-		{Scenario: "redis-get90", Budgets: []string{"500000"}},              // the implicit default, spelled out
+		{Scenario: "redis-get90", Budgets: []string{"500000"}},             // the implicit default, spelled out
 		{Scenario: "redis-get90", Budgets: []string{"throughput>=500000"}}, // full spelling
-		{Scenario: "redis-get90", Seed: 9}, // without a budget the seed is dead weight
+		{Scenario: "redis-get90", Seed: 9},                                 // without a budget the seed is dead weight
+	}
+	// Phase-schedule spellings canonicalize before keying: explicit
+	// "*1" weights and whitespace never split a flight.
+	if key(Request{Scenario: "redis-get90*2+redis-get50"}) !=
+		key(Request{Scenario: " redis-get90 * 2 + redis-get50 * 1 "}) {
+		t.Error("phased spelling changed the key; schedules canonicalize before coalescing")
 	}
 	for _, r := range same {
 		if key(r) != key(base) {
@@ -114,6 +125,9 @@ func TestCanonicalKeyInvariants(t *testing.T) {
 		{Scenario: "redis-get90", MeasureBudget: 500, Seed: 1}, // the seed picks the sample
 		{Scenario: "redis-get90", MeasureBudget: 500, Seed: 2},
 		{Scenario: "redis-get90", DeltaOnly: true}, // a delta run reports only the store-absent slice
+		{Scenario: "redis-get90+redis-get50"},      // a schedule is not its first phase
+		{Scenario: "redis-get50+redis-get90"},      // ... and a schedule is a timeline, not a set
+		{Scenario: "redis-get90*2+redis-get50"},    // ... and weights scale the phases
 		{App: "redis"},
 	}
 	seen := map[string]string{key(base): "base"}
@@ -206,6 +220,7 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"scenario":"redis-pipe8","budgets":["throughput>=200000","p99<=40"],"stream":true,"workers":8}`))
 	f.Add([]byte(`{"app":"cross","shard":"1/3","timeout_ms":1000}`))
+	f.Add([]byte(`{"scenario":"redis-get90*3+redis-get50","ops":960}`))
 	f.Add([]byte(`{"app":"redis","requests":-5,"metric":""}`))
 	f.Add([]byte(`[{"app":"redis"}]`))
 	f.Add([]byte(`{"budgets":[{}]}`))

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -89,7 +90,16 @@ type Client struct {
 	// the retried stream, which replays identically (streams are in
 	// input order, byte-identical across runs).
 	Retry *RetryPolicy
+
+	// retries counts the retry attempts the policy has consumed (every
+	// re-issue after a transient failure, across all calls). A load
+	// generator reads it off to report how hard the target made it work.
+	retries atomic.Int64
 }
+
+// Retries returns the number of retry attempts this client has spent
+// on transient failures so far. Safe for concurrent use.
+func (c *Client) Retries() int64 { return c.retries.Load() }
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
@@ -148,6 +158,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*htt
 			}
 			return nil, err
 		}
+		c.retries.Add(1)
 	}
 }
 
@@ -209,6 +220,7 @@ func (c *Client) ExploreStream(ctx context.Context, req Request, onLine func(str
 		if serr := c.Retry.sleep(ctx, n); serr != nil {
 			return Response{}, err
 		}
+		c.retries.Add(1)
 	}
 }
 

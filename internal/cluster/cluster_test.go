@@ -135,8 +135,8 @@ var testRequests = []cli.Request{
 	{Scenario: "redis-get90"},
 	{Scenario: "nginx-keep75", Metric: "p99", Budgets: []string{"3"}},
 	{Scenario: "redis-pipe8", Budgets: []string{"throughput>=200000", "p99<=40", "mem<=400000"}},
-	{App: "redis", Budgets: []string{"600000"}},                 // mostly infeasible
-	{Scenario: "redis-get50", Pareto: true, Exhaustive: false},  // unpruned re-rank
+	{App: "redis", Budgets: []string{"600000"}},                // mostly infeasible
+	{Scenario: "redis-get50", Pareto: true, Exhaustive: false}, // unpruned re-rank
 }
 
 func TestClusterByteIdenticalAcrossFanouts(t *testing.T) {

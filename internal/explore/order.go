@@ -62,8 +62,8 @@ func leqSig(a, b *sig) bool {
 type spaceOrder struct {
 	n      int
 	sigs   []sig
-	groups [][]int32              // member indices per group, ascending
-	posets []*poset.Poset[int32]  // one per group, over global indices
+	groups [][]int32             // member indices per group, ascending
+	posets []*poset.Poset[int32] // one per group, over global indices
 
 	edgesOnce    sync.Once
 	preds, succs [][]int32 // Hasse edges of the whole space, global indices

@@ -53,6 +53,7 @@ import (
 	"flexos/internal/cli"
 	"flexos/internal/cluster"
 	"flexos/internal/explore"
+	"flexos/internal/machine"
 	"flexos/internal/store"
 )
 
@@ -138,6 +139,64 @@ type Stats struct {
 	// per-worker dispatch/re-dispatch/failure counters — when this
 	// daemon coordinates one.
 	Cluster *cluster.Stats `json:"cluster,omitempty"`
+	// RequestLatency summarizes wall-clock serving latency per explore
+	// request (decode through final byte), over a sliding window of
+	// recent requests. A coalesced subscriber counts like any other:
+	// what it waited is what it waited.
+	RequestLatency LatencyStats `json:"request_latency"`
+}
+
+// LatencyStats is the /statsz latency section: nearest-rank
+// percentiles (the machine.LatencySampler definition) in milliseconds
+// over the recent-request window, plus the all-time request count.
+type LatencyStats struct {
+	Count  int64   `json:"count"`
+	Window int     `json:"window"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// latencyWindow keeps the last latWindowSize request durations (ns) in
+// a ring. Percentiles over a bounded window track "lately" rather than
+// "since boot", and the memory cost is fixed.
+const latWindowSize = 4096
+
+type latencyWindow struct {
+	mu    sync.Mutex
+	buf   [latWindowSize]uint64
+	next  int
+	n     int
+	total int64
+}
+
+func (lw *latencyWindow) record(d time.Duration) {
+	lw.mu.Lock()
+	lw.buf[lw.next] = uint64(d.Nanoseconds())
+	lw.next = (lw.next + 1) % latWindowSize
+	if lw.n < latWindowSize {
+		lw.n++
+	}
+	lw.total++
+	lw.mu.Unlock()
+}
+
+// stats reduces the window with the shared nearest-rank sampler.
+func (lw *latencyWindow) stats() LatencyStats {
+	lw.mu.Lock()
+	var smp machine.LatencySampler
+	for i := 0; i < lw.n; i++ {
+		smp.Record(lw.buf[i])
+	}
+	st := LatencyStats{Count: lw.total, Window: lw.n}
+	lw.mu.Unlock()
+	ms := func(ns uint64) float64 { return float64(ns) / 1e6 }
+	st.P50Ms = ms(smp.Percentile(50))
+	st.P95Ms = ms(smp.Percentile(95))
+	st.P99Ms = ms(smp.Percentile(99))
+	st.MaxMs = ms(smp.Max())
+	return st
 }
 
 // Server is the exploration service. Create it with New, serve it as
@@ -159,6 +218,7 @@ type Server struct {
 	flights map[string]*flight
 	closed  bool
 	stats   Stats
+	lat     latencyWindow
 
 	// Test seams (package-internal): onFlightStart runs on the flight
 	// goroutine after the flight is admitted, before the engine pass;
@@ -325,6 +385,7 @@ func (s *Server) Stats() Stats {
 	if s.cfg.Cluster != nil {
 		st.Cluster = s.cfg.Cluster.Stats()
 	}
+	st.RequestLatency = s.lat.stats()
 	return st
 }
 
@@ -446,6 +507,10 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// Per-request serving latency: from a validly decoded request to
+	// the end of its response, whatever the outcome — what a load
+	// generator on the other side observes.
+	defer func(t0 time.Time) { s.lat.record(time.Since(t0)) }(time.Now())
 	key := q.CanonicalKey()
 
 	f, coalesced, err := s.attach(key, q, info, &req)

@@ -306,6 +306,15 @@ func TestServeHealthzStatsz(t *testing.T) {
 	if st.SyncLogLen == 0 {
 		t.Errorf("sync log empty after a completed run: %+v", st)
 	}
+	if st.RequestLatency.Count != 1 || st.RequestLatency.Window != 1 {
+		t.Errorf("request latency did not count the explore: %+v", st.RequestLatency)
+	}
+	if st.RequestLatency.P50Ms <= 0 ||
+		st.RequestLatency.P50Ms > st.RequestLatency.P95Ms ||
+		st.RequestLatency.P95Ms > st.RequestLatency.P99Ms ||
+		st.RequestLatency.P99Ms > st.RequestLatency.MaxMs {
+		t.Errorf("request latency percentiles not ordered: %+v", st.RequestLatency)
+	}
 
 	res, err := client.HTTPClient.Get(client.BaseURL + "/statsz")
 	if err != nil {
@@ -321,6 +330,9 @@ func TestServeHealthzStatsz(t *testing.T) {
 	}
 	if wire.UptimeMs <= 0 || wire.InFlight != 0 || wire.SyncLogLen == 0 {
 		t.Errorf("/statsz gauges: %+v", wire)
+	}
+	if wire.RequestLatency.Count != 1 || wire.RequestLatency.P50Ms <= 0 {
+		t.Errorf("/statsz request latency: %+v", wire.RequestLatency)
 	}
 }
 
@@ -342,9 +354,18 @@ func TestStatszClusterSection(t *testing.T) {
 	if err := json.NewDecoder(res.Body).Decode(&wire); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"uptime_ms", "in_flight", "sync_log_len", "cluster"} {
+	for _, key := range []string{"uptime_ms", "in_flight", "sync_log_len", "cluster", "request_latency"} {
 		if _, ok := wire[key]; !ok {
 			t.Fatalf("/statsz missing %q: %v", key, wire)
+		}
+	}
+	lat, ok := wire["request_latency"].(map[string]any)
+	if !ok {
+		t.Fatalf("request_latency section is not an object: %v", wire["request_latency"])
+	}
+	for _, key := range []string{"count", "window", "p50_ms", "p95_ms", "p99_ms", "max_ms"} {
+		if _, present := lat[key]; !present {
+			t.Fatalf("request_latency missing %q: %v", key, lat)
 		}
 	}
 	cl, ok := wire["cluster"].(map[string]any)

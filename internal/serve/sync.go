@@ -38,9 +38,9 @@ type syncLog struct {
 	gen      string // log incarnation; restarts rebuild in a new order
 
 	mu    sync.RWMutex
-	known map[string]struct{}        // every key in the log
-	log   []string                   // keys, arrival order
-	extra map[string]flexos.Metrics  // records the store cannot hold
+	known map[string]struct{}       // every key in the log
+	log   []string                  // keys, arrival order
+	extra map[string]flexos.Metrics // records the store cannot hold
 }
 
 // newSyncLog builds the log, seeding it from the store's existing
