@@ -442,6 +442,52 @@ func BenchmarkQuerySyntheticBudgeted(b *testing.B) {
 	b.ReportMetric(float64(synthBenchSize)*float64(b.N)/b.Elapsed().Seconds(), "configs/s")
 }
 
+// BenchmarkQueryAttackSurvival runs the attack-scored sweep the
+// attack-matrix CI job exercises end to end: the Fig6 Redis space
+// expanded 12× along the ASLR ladder and control-flow variants on the
+// RISC-V profile, every point measured under the combined attacker,
+// ranked by survival under a filter-only survival floor plus a monotone
+// (prunable) throughput floor. This is the cost of one full attack-axis
+// query — workload simulation, survival model, and the grouped safety
+// order over the 960-point space.
+func BenchmarkQueryAttackSurvival(b *testing.B) {
+	att, ok := flexos.AttackByName("combined")
+	if !ok {
+		b.Fatal("attack scenario \"combined\" missing")
+	}
+	sc, ok := flexos.ScenarioByName("redis-get90")
+	if !ok {
+		b.Fatal("scenario \"redis-get90\" missing")
+	}
+	sc = sc.WithOps(40)
+	quad, _ := sc.Quad()
+	space := flexos.AttackSpace(flexos.Fig6Space(quad),
+		flexos.AttackSpec{Scenario: att.Name(), Profile: "riscv"})
+	q := flexos.NewQuery(space).
+		Measure(flexos.MeasureAttack(att, flexos.MeasureScenario(sc))).
+		RankBy(flexos.MetricSurvival).
+		Floor(flexos.MetricSurvival, 0.5).
+		Floor(flexos.MetricThroughput, 1).
+		Workers(8).
+		Prune(true).
+		Namespace(flexos.AttackNamespace(att, sc.MemoKey()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := q.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Total), "total-configs")
+			b.ReportMetric(float64(len(res.Safest)), "safest")
+			if len(res.Safest) > 0 {
+				b.ReportMetric(res.Measurements[res.Safest[0]].Metrics.Survival, "sim-survival")
+			}
+		}
+	}
+	b.ReportMetric(float64(len(space))*float64(b.N)/b.Elapsed().Seconds(), "configs/s")
+}
+
 // BenchmarkAblationMonotonicPruning quantifies design decision 4: how
 // many of the 80 measurements the explorer's monotonic pruning saves.
 func BenchmarkAblationMonotonicPruning(b *testing.B) {

@@ -49,7 +49,7 @@ const reference = "BenchmarkQueryFig6Sequential"
 // recordID names the checked-in perf-trajectory record this tree
 // maintains; bump it when a PR re-baselines the engine benchmarks so
 // the repo history keeps one record per baseline generation.
-const recordID = "BENCH_0008"
+const recordID = "BENCH_0009"
 
 func main() {
 	update := flag.Bool("update", false, "rewrite the baseline file from this run")
@@ -61,7 +61,7 @@ func main() {
 	// back to back, so its ns/op spans two runs and carries twice the
 	// scheduling variance while adding no coverage beyond the
 	// Fig6Sequential / Fig6Parallel pair.
-	pattern := flag.String("bench", "^BenchmarkQuery(Fig6|CrossAppSpace|MemoizedSweep|Synthetic)|^BenchmarkServeTrace", "benchmark pattern to guard")
+	pattern := flag.String("bench", "^BenchmarkQuery(Fig6|CrossAppSpace|MemoizedSweep|Synthetic|Attack)|^BenchmarkServeTrace", "benchmark pattern to guard")
 	baseline := flag.String("baseline", filepath.Join("cmd", "benchguard", "baseline.txt"), "baseline file")
 	record := flag.String("record", recordID+".json", "checked-in JSON record of the baseline's normalized table (written by -update, verified fresh otherwise; empty disables)")
 	jsonOut := flag.String("json", "", "write this run's normalized table to this JSON file (CI artifact)")

@@ -45,6 +45,8 @@
 //	flexos-explore -app redis -cache .explore-cache
 //	flexos-explore -app cross -shard 2/4 -cache shards/2
 //	flexos-explore -app redis -space-hash
+//	flexos-explore -scenario redis-get90 -attack rop-chain -profile riscv -budget "survival>=0.5"
+//	flexos-explore -scenario redis-get90 -attack combined -aslr 16+leak
 //	flexos-explore -list
 //
 // -remote URL forwards the request to a running flexos-serve daemon
@@ -74,7 +76,10 @@ import (
 func main() {
 	app := flag.String("app", "redis", "space to explore: redis | nginx | cross (both apps x {mpk, ept})")
 	scenarioName := flag.String("scenario", "", "explore under a multi-metric scenario workload instead of -app (see -list)")
-	metricName := flag.String("metric", "throughput", "ranking metric, and the dimension plain-number -budget values bound: throughput | p50 | p99 | maxlat | mem | boot")
+	attackName := flag.String("attack", "", "score survival against an attack scenario and sweep the ASLR / control-flow hardening axes: rop-chain | addr-probe | comp-leak | combined (requires -scenario)")
+	profileName := flag.String("profile", "", "machine profile to build and measure for: x86 (default) | riscv (requires -scenario)")
+	aslrSpec := flag.String("aslr", "", "pin the layout-randomization level instead of sweeping the attack ladder: off | N | N+leak, e.g. 16+leak (requires -scenario)")
+	metricName := flag.String("metric", "throughput", "ranking metric, and the dimension plain-number -budget values bound: throughput | p50 | p99 | maxlat | mem | boot | survival")
 	var budgets cli.BudgetFlags
 	flag.Var(&budgets, "budget", "budget constraint; repeatable. Either a plain bound on -metric (natural direction) or metric>=bound / metric<=bound (default: 500000 on -metric)")
 	timeout := flag.Duration("timeout", 0, "abort the exploration after this duration (0: no deadline)")
@@ -107,6 +112,10 @@ func main() {
 			}
 			fmt.Printf("  %-16s %s%s\n", sc.Name(), sc.Description(), quadNote)
 		}
+		fmt.Println("attack library (-attack, with -scenario):")
+		for _, a := range flexos.AttackScenarios() {
+			fmt.Printf("  %-16s %s\n", a.Name(), a.Description())
+		}
 		return
 	}
 
@@ -128,6 +137,7 @@ func main() {
 	// daemon accepts, so the local and -remote paths cannot drift.
 	creq := cli.Request{
 		App: *app, Scenario: *scenarioName, Requests: *requests, Ops: *ops,
+		Attack: *attackName, Profile: *profileName, ASLR: *aslrSpec,
 		Metric: *metricName, Budgets: budgets,
 		Pareto: *pareto, Exhaustive: *exhaustive, Verbose: *verbose,
 		MeasureBudget: measureBudget, Seed: seed, DeltaOnly: *deltaOnly,

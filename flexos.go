@@ -34,6 +34,7 @@ import (
 	"context"
 	"fmt"
 
+	"flexos/internal/attack"
 	"flexos/internal/config"
 	"flexos/internal/core"
 	"flexos/internal/explore"
@@ -149,6 +150,7 @@ const (
 	MetricMax        = scenario.MetricMax
 	MetricPeakMem    = scenario.MetricPeakMem
 	MetricBoot       = scenario.MetricBoot
+	MetricSurvival   = scenario.MetricSurvival
 )
 
 // Constraint directions for Query.Constrain: AtLeast is a floor (the
@@ -218,8 +220,73 @@ const (
 	KASan          = harden.KASan
 	UBSan          = harden.UBSan
 	StackProtector = harden.StackProtector
+	ShadowStack    = harden.ShadowStack
 	AllHardening   = harden.All
 )
+
+// Attack-axis types re-exported for users of the public API.
+type (
+	// AttackScenario is one attack workload of the shipped library
+	// (rop-chain, addr-probe, comp-leak, combined).
+	AttackScenario = attack.Scenario
+	// AttackSpec is a parsed attack-axis configuration: scenario,
+	// machine profile and optional pinned ASLR level.
+	AttackSpec = attack.Spec
+	// ASLR is a layout-randomization level (entropy bits + leak
+	// resistance), one dimension of the safety order.
+	ASLR = isolation.ASLR
+	// MachineProfile is a named cost-model/attack-surface bundle.
+	MachineProfile = machine.Profile
+)
+
+// AttackByName resolves an attack scenario identifier.
+func AttackByName(name string) (*AttackScenario, bool) { return attack.ByName(name) }
+
+// AttackScenarios returns the shipped attack library, sorted by name.
+func AttackScenarios() []*AttackScenario { return attack.All() }
+
+// AttackNames lists the attack scenario names for help text.
+func AttackNames() string { return attack.Names() }
+
+// ParseAttackConfig parses the attack-axis configuration syntax
+// "scenario[@profile][;aslr=off|N|N+leak]".
+func ParseAttackConfig(s string) (AttackSpec, error) { return attack.ParseConfig(s) }
+
+// AttackSpace expands a base configuration space along the attack
+// axes: profile stamping, the ASLR ladder (or pinned level), and the
+// CFI/shadow-stack hardening variants.
+func AttackSpace(base []*ExploreConfig, spec AttackSpec) []*ExploreConfig {
+	return attack.Space(base, spec)
+}
+
+// StampSpace pins every configuration of a space to a machine profile
+// and, optionally, an ASLR level — without expanding it. pinASLR
+// false leaves the configurations' ASLR untouched.
+func StampSpace(base []*ExploreConfig, profile string, a ASLR, pinASLR bool) []*ExploreConfig {
+	return attack.Stamp(base, profile, a, pinASLR)
+}
+
+// MeasureAttack wraps a measure function so every vector carries the
+// attack scenario's survival score (the MetricSurvival dimension).
+func MeasureAttack(s *AttackScenario, base func(*ExploreConfig) (Metrics, error)) func(*ExploreConfig) (Metrics, error) {
+	return attack.Measure(s, base)
+}
+
+// AttackNamespace is the memo namespace of an attack-scored run over
+// the given workload namespace.
+func AttackNamespace(s *AttackScenario, workload string) string {
+	return attack.Namespace(s, workload)
+}
+
+// ParseASLR parses an ASLR level spec ("off", "16", "16+leak").
+func ParseASLR(s string) (ASLR, error) { return isolation.ParseASLR(s) }
+
+// ParseProfile resolves a machine profile name ("", "x86", "riscv").
+func ParseProfile(s string) (MachineProfile, error) { return machine.ParseProfile(s) }
+
+// CanonicalProfile canonicalizes a machine profile name; the default
+// profile canonicalizes to "".
+func CanonicalProfile(s string) (string, error) { return machine.CanonicalProfile(s) }
 
 // NewCatalog returns an empty component catalog.
 func NewCatalog() *Catalog { return core.NewCatalog() }

@@ -1,0 +1,103 @@
+package attack_test
+
+import (
+	"strings"
+	"testing"
+
+	"flexos/internal/attack"
+	"flexos/internal/isolation"
+)
+
+// TestParseConfig pins the attack-spec syntax: canonicalization of
+// scenario, profile and ASLR aliases, the String/ParseConfig fixpoint,
+// and rejection (never panic) of malformed input.
+func TestParseConfig(t *testing.T) {
+	valid := []struct {
+		in   string
+		want attack.Spec
+	}{
+		{"rop-chain", attack.Spec{Scenario: "rop-chain"}},
+		{"  ROP-Chain  ", attack.Spec{Scenario: "rop-chain"}},
+		{"combined@x86", attack.Spec{Scenario: "combined"}},
+		{"combined@xeon", attack.Spec{Scenario: "combined"}},
+		{"addr-probe@risc-v", attack.Spec{Scenario: "addr-probe", Profile: "riscv"}},
+		{"addr-probe@rv64", attack.Spec{Scenario: "addr-probe", Profile: "riscv"}},
+		{"comp-leak;aslr=off", attack.Spec{Scenario: "comp-leak", PinASLR: true}},
+		{"comp-leak;aslr=none", attack.Spec{Scenario: "comp-leak", PinASLR: true}},
+		{"combined@riscv;aslr=16+leak", attack.Spec{
+			Scenario: "combined", Profile: "riscv",
+			ASLR: isolation.ASLR{EntropyBits: 16, LeakResistant: true}, PinASLR: true,
+		}},
+	}
+	for _, tc := range valid {
+		got, err := attack.ParseConfig(tc.in)
+		if err != nil {
+			t.Fatalf("ParseConfig(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Fatalf("ParseConfig(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+		// Canonical renderings are parse fixpoints.
+		again, err := attack.ParseConfig(got.String())
+		if err != nil || again != got {
+			t.Fatalf("ParseConfig(%q).String() = %q does not re-parse to itself: %+v, %v",
+				tc.in, got.String(), again, err)
+		}
+	}
+	for _, in := range []string{
+		"", "   ", "ransomware", "rop-chain@z80", "rop-chain;entropy=16",
+		"rop-chain;aslr", "rop-chain;aslr=", "rop-chain;aslr=41",
+		"rop-chain;aslr=-1", "rop-chain;aslr=0+leak", "rop-chain;aslr=16+leak+leak",
+		"@riscv", ";aslr=16", "combined@riscv;aslr=16;aslr=8",
+	} {
+		if spec, err := attack.ParseConfig(in); err == nil {
+			// Duplicate options are allowed to last-write; everything else
+			// above must fail.
+			if in != "combined@riscv;aslr=16;aslr=8" {
+				t.Fatalf("ParseConfig(%q) accepted as %+v; want error", in, spec)
+			}
+		}
+	}
+}
+
+// FuzzParseAttackConfig fuzzes the attack-spec parser: malformed specs
+// must error (never panic or hang), and every accepted spec must
+// canonicalize — its String rendering re-parses, bit-identically, to
+// the same Spec, so attack-axis canonical request keys are stable.
+func FuzzParseAttackConfig(f *testing.F) {
+	for _, s := range []string{
+		"rop-chain", "addr-probe", "comp-leak", "combined",
+		"combined@riscv", "combined@x86", "rop-chain@risc-v",
+		"rop-chain;aslr=off", "rop-chain;aslr=16", "combined@riscv;aslr=16+leak",
+		"ROP-CHAIN@RV64;aslr=32+leak",
+		"", "@", ";", "a@b;c=d", "combined@", "combined;aslr=",
+		"combined;aslr=+leak", "combined;;aslr=16", "combined@riscv;aslr=16;aslr=8",
+		"combined\x00@riscv", "combined@ünïcödé",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := attack.ParseConfig(input)
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		if spec.Scenario == "" {
+			t.Fatalf("ParseConfig(%q) accepted a spec with no scenario: %+v", input, spec)
+		}
+		if _, ok := attack.ByName(spec.Scenario); !ok {
+			t.Fatalf("ParseConfig(%q) produced unknown scenario %q", input, spec.Scenario)
+		}
+		if strings.ToLower(spec.Profile) != spec.Profile {
+			t.Fatalf("ParseConfig(%q) produced non-canonical profile %q", input, spec.Profile)
+		}
+		rendered := spec.String()
+		again, err := attack.ParseConfig(rendered)
+		if err != nil {
+			t.Fatalf("re-parsing canonical rendering %q failed: %v\ninput: %q", rendered, err, input)
+		}
+		if again != spec {
+			t.Fatalf("canonical rendering is not a fixpoint: %+v -> %q -> %+v\ninput: %q",
+				spec, rendered, again, input)
+		}
+	})
+}

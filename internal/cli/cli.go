@@ -36,12 +36,81 @@ type Selection struct {
 	Requests int
 	// Ops overrides the scenario's default op count when > 0.
 	Ops int
+	// Attack, when non-empty, scores survival against an attack
+	// scenario ("rop-chain", "addr-probe", "comp-leak", "combined")
+	// and expands the space along the ASLR / control-flow-hardening
+	// axes. Requires Scenario.
+	Attack string
+	// Profile selects the machine profile ("x86", "riscv"). Requires
+	// Scenario.
+	Profile string
+	// ASLR pins a layout-randomization level ("off", "16", "16+leak")
+	// instead of sweeping the attack ladder. Requires Scenario.
+	ASLR string
+}
+
+// memoKeyer lets Build read a workload's memo namespace (Scenario and
+// PhasedScenario both implement it).
+type memoKeyer interface{ MemoKey() string }
+
+// attackQuery assembles the attack-axis variant of a scenario query:
+// the base space is stamped with the machine profile and — for attack
+// runs — expanded along the ASLR ladder and control-flow hardening
+// variants, and every measurement carries the attack scenario's
+// survival score. The memo namespace separates attack runs from plain
+// performance runs of the same workload.
+func (s Selection) attackQuery(w flexos.Workload, quad [4]string) (*flexos.Query, string, error) {
+	spec := flexos.AttackSpec{}
+	if s.Attack != "" {
+		att, ok := flexos.AttackByName(s.Attack)
+		if !ok {
+			return nil, "", fmt.Errorf("unknown attack scenario %q (want %s)", s.Attack, flexos.AttackNames())
+		}
+		spec.Scenario = att.Name()
+	}
+	canon, err := flexos.CanonicalProfile(s.Profile)
+	if err != nil {
+		return nil, "", err
+	}
+	spec.Profile = canon
+	if s.ASLR != "" {
+		a, err := flexos.ParseASLR(s.ASLR)
+		if err != nil {
+			return nil, "", err
+		}
+		spec.ASLR = a
+		spec.PinASLR = true
+	}
+
+	space := flexos.Fig6Space(quad)
+	ns := w.Name()
+	if mk, ok := w.(memoKeyer); ok {
+		ns = mk.MemoKey()
+	}
+	measure := flexos.MeasureScenario(w)
+	title := w.Name()
+	if spec.Scenario == "" {
+		// Profile and/or pinned ASLR without an attacker: stamp the
+		// space, keep the plain performance measure.
+		space = flexos.StampSpace(space, spec.Profile, spec.ASLR, spec.PinASLR)
+		return flexos.NewQuery(space).Measure(measure).Namespace(ns), title, nil
+	}
+	att, _ := flexos.AttackByName(spec.Scenario)
+	space = flexos.AttackSpace(space, spec)
+	q := flexos.NewQuery(space).
+		Measure(flexos.MeasureAttack(att, measure)).
+		Namespace(flexos.AttackNamespace(att, ns))
+	return q, title + " vs " + spec.String(), nil
 }
 
 // Build assembles the query for the selection. It returns the query,
 // the report title, and whether the query measures full metric
 // vectors (scenario mode) rather than throughput only.
 func (s Selection) Build() (q *flexos.Query, title string, scenarioMode bool, err error) {
+	attackAxes := s.Attack != "" || s.Profile != "" || s.ASLR != ""
+	if s.Scenario == "" && attackAxes {
+		return nil, "", false, fmt.Errorf("-attack/-profile/-aslr require -scenario (the -app benchmarks have no attack-axis space)")
+	}
 	if s.Scenario != "" {
 		if flexos.IsPhasedSpec(s.Scenario) {
 			ph, err := flexos.ParsePhased(s.Scenario)
@@ -52,6 +121,10 @@ func (s Selection) Build() (q *flexos.Query, title string, scenarioMode bool, er
 				ph = ph.WithOps(s.Ops)
 			}
 			quad, _ := ph.Quad() // ParsePhased rejects quad-less phases
+			if attackAxes {
+				q, title, err := s.attackQuery(ph, quad)
+				return q, title, true, err
+			}
 			return flexos.NewQuery(flexos.Fig6Space(quad)).Workload(ph), ph.Name(), true, nil
 		}
 		sc, ok := flexos.ScenarioByName(s.Scenario)
@@ -64,6 +137,10 @@ func (s Selection) Build() (q *flexos.Query, title string, scenarioMode bool, er
 		quad, ok := sc.Quad()
 		if !ok {
 			return nil, "", false, fmt.Errorf("scenario %q has no four-component space", sc.Name())
+		}
+		if attackAxes {
+			q, title, err := s.attackQuery(sc, quad)
+			return q, title, true, err
 		}
 		return flexos.NewQuery(flexos.Fig6Space(quad)).Workload(sc), sc.Name(), true, nil
 	}
@@ -113,10 +190,15 @@ func (s Selection) Build() (q *flexos.Query, title string, scenarioMode bool, er
 // ParseBudgets turns repeated -budget values into constraints. A plain
 // number bounds the default metric in its natural direction; the full
 // syntax ("p99<=2.5") names its own metric and direction. No -budget
-// at all keeps the historical default of 500000 on the chosen metric.
+// at all keeps the historical default of 500000 on the chosen metric —
+// except for survival, a probability, where the default floor is 0.5.
 func ParseBudgets(budgets []string, metric flexos.Metric) ([]flexos.ExploreConstraint, error) {
 	if len(budgets) == 0 {
-		budgets = []string{"500000"}
+		if metric == flexos.MetricSurvival {
+			budgets = []string{"0.5"}
+		} else {
+			budgets = []string{"500000"}
+		}
 	}
 	out := make([]flexos.ExploreConstraint, 0, len(budgets))
 	for _, s := range budgets {

@@ -29,6 +29,17 @@ type Request struct {
 	// Ops overrides the scenario's default op count when > 0.
 	Requests int `json:"requests,omitempty"`
 	Ops      int `json:"ops,omitempty"`
+	// Attack scores survival against an attack scenario ("rop-chain",
+	// "addr-probe", "comp-leak", "combined") and expands the space
+	// along the ASLR / control-flow-hardening axes; Profile selects
+	// the machine profile ("x86", "riscv"); ASLR pins a randomization
+	// level ("off", "16", "16+leak"). All three require Scenario, and
+	// all three join the canonical key — requests differing only in
+	// attack scenario, profile or ASLR level explore different spaces
+	// and must not coalesce.
+	Attack  string `json:"attack,omitempty"`
+	Profile string `json:"profile,omitempty"`
+	ASLR    string `json:"aslr,omitempty"`
 	// Metric is the ranking metric, and the dimension plain-number
 	// Budgets bound (empty: throughput).
 	Metric string `json:"metric,omitempty"`
@@ -133,6 +144,30 @@ func (r *Request) Normalize() {
 		if r.Requests <= 0 {
 			r.Requests = 200
 		}
+		// The attack axes require a scenario; Build rejects them, so
+		// normalization leaves them untouched for the error message.
+	}
+	// Canonicalize attack-axis spellings so equal requests encode — and
+	// coalesce — alike: scenario aliases by case, "risc-v"/"rv64" ≡
+	// "riscv" (and the default "x86" ≡ absent, which stamps nothing),
+	// "0"/"none" ≡ "off". An explicit "off" is NOT dropped: under an
+	// attack it pins the space to ASLR-off instead of sweeping the
+	// ladder, a genuinely different space. Unparsable values are left
+	// untouched for Build to reject.
+	if r.Attack != "" {
+		if att, ok := flexos.AttackByName(r.Attack); ok {
+			r.Attack = att.Name()
+		}
+	}
+	if r.Profile != "" {
+		if canon, err := flexos.CanonicalProfile(r.Profile); err == nil {
+			r.Profile = canon
+		}
+	}
+	if r.ASLR != "" {
+		if a, err := flexos.ParseASLR(r.ASLR); err == nil {
+			r.ASLR = a.String()
+		}
 	}
 	if r.Metric == "" {
 		r.Metric = string(flexos.MetricThroughput)
@@ -172,13 +207,24 @@ func (r *Request) Build() (*flexos.Query, *BuildInfo, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	sel := Selection{App: r.App, Scenario: r.Scenario, Requests: r.Requests, Ops: r.Ops}
+	sel := Selection{App: r.App, Scenario: r.Scenario, Requests: r.Requests, Ops: r.Ops,
+		Attack: r.Attack, Profile: r.Profile, ASLR: r.ASLR}
 	q, title, scenarioMode, err := sel.Build()
 	if err != nil {
 		return nil, nil, err
 	}
 	if err := ValidateScalar(scenarioMode, metric, constraints, r.Pareto); err != nil {
 		return nil, nil, err
+	}
+	if r.Attack == "" {
+		if metric == flexos.MetricSurvival {
+			return nil, nil, errors.New("metric survival requires an attack scenario (only attack runs score survival)")
+		}
+		for _, c := range constraints {
+			if c.Metric == flexos.MetricSurvival {
+				return nil, nil, fmt.Errorf("constraint %s requires an attack scenario (only attack runs score survival)", c)
+			}
+		}
 	}
 	if r.DeltaOnly && r.MeasureBudget > 0 {
 		return nil, nil, errors.New("delta_only and measure_budget are mutually exclusive")

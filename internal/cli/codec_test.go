@@ -146,6 +146,80 @@ func TestCanonicalKeyInvariants(t *testing.T) {
 	}
 }
 
+// TestAttackAxisKeyInvariants extends the coalescing identity to the
+// attack axes: requests differing only in attack scenario, machine
+// profile or pinned ASLR level describe different spaces or scorings
+// and must never coalesce, while presentation and scheduling knobs —
+// and alias spellings of the same axis value — still do.
+func TestAttackAxisKeyInvariants(t *testing.T) {
+	key := func(r Request) string {
+		t.Helper()
+		k, err := r.CanonicalKey()
+		if err != nil {
+			t.Fatalf("key(%+v): %v", r, err)
+		}
+		return k
+	}
+	base := Request{Scenario: "redis-get90", Attack: "rop-chain"}
+	same := []Request{
+		{Scenario: "redis-get90", Attack: " ROP-Chain "},           // scenario names canonicalize
+		{Scenario: "redis-get90", Attack: "rop-chain", Workers: 8}, // scheduling knob
+		{Scenario: "redis-get90", Attack: "rop-chain", Verbose: true},
+		{Scenario: "redis-get90", Attack: "rop-chain", Stream: true},
+		{Scenario: "redis-get90", Attack: "rop-chain", Profile: "x86"},  // the default profile is absence
+		{Scenario: "redis-get90", Attack: "rop-chain", Profile: "xeon"}, // ... under any alias
+	}
+	for _, r := range same {
+		if key(r) != key(base) {
+			t.Errorf("%+v: key differs from base; these must coalesce", r)
+		}
+	}
+	if key(Request{Scenario: "redis-get90", Attack: "combined", Profile: "risc-v"}) !=
+		key(Request{Scenario: "redis-get90", Attack: "combined", Profile: "rv64"}) {
+		t.Error("profile aliases split a flight; they canonicalize before keying")
+	}
+	if key(Request{Scenario: "redis-get90", Attack: "combined", ASLR: "none"}) !=
+		key(Request{Scenario: "redis-get90", Attack: "combined", ASLR: "off"}) {
+		t.Error("aslr aliases split a flight; they canonicalize before keying")
+	}
+	distinct := []Request{
+		{Scenario: "redis-get90"},                       // the plain performance run
+		{Scenario: "redis-get90", Attack: "addr-probe"}, // a different attacker
+		{Scenario: "redis-get90", Attack: "comp-leak"},
+		{Scenario: "redis-get90", Attack: "combined"},
+		{Scenario: "redis-get90", Attack: "rop-chain", Profile: "riscv"}, // a different machine
+		{Scenario: "redis-get90", Attack: "rop-chain", ASLR: "off"},      // pinned off != sweeping the ladder
+		{Scenario: "redis-get90", Attack: "rop-chain", ASLR: "16"},       // ... and each pin differently
+		{Scenario: "redis-get90", Attack: "rop-chain", ASLR: "16+leak"},
+		{Scenario: "redis-get90", Attack: "combined", Profile: "riscv", ASLR: "16+leak"},
+		{Scenario: "redis-get90", Profile: "riscv"},             // profile-stamped, unattacked run
+		{Scenario: "redis-get90", Profile: "riscv", ASLR: "16"}, // stamped ASLR joins the key too
+		{Scenario: "redis-get50", Attack: "rop-chain"},          // the workload still matters
+	}
+	seen := map[string]string{key(base): "base"}
+	for i, r := range distinct {
+		k := key(r)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%+v collides with %s; these must not coalesce", r, prev)
+		}
+		seen[k] = fmt.Sprintf("distinct[%d]", i)
+	}
+	// Survival metrics and constraints are attack-only: without an
+	// attack scenario there is no survival score to rank or bound.
+	for _, r := range []Request{
+		{Scenario: "redis-get90", Metric: "survival"},
+		{Scenario: "redis-get90", Budgets: []string{"survival>=0.5"}},
+	} {
+		if _, err := r.CanonicalKey(); err == nil {
+			t.Errorf("%+v: survival without -attack must be rejected", r)
+		}
+	}
+	if _, err := (Request{Scenario: "redis-get90", Attack: "combined",
+		Metric: "survival", Budgets: []string{"survival>=0.5"}}).CanonicalKey(); err != nil {
+		t.Errorf("survival metric under an attack scenario must build: %v", err)
+	}
+}
+
 // TestQueryRequestRoundTrip closes the loop between the builder and
 // the wire form: a Request built into a Query yields the same
 // canonical key after an encode/decode round trip, so a daemon and a
@@ -224,6 +298,11 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte(`{"app":"redis","requests":-5,"metric":""}`))
 	f.Add([]byte(`[{"app":"redis"}]`))
 	f.Add([]byte(`{"budgets":[{}]}`))
+	f.Add([]byte(`{"scenario":"redis-get90","attack":"combined","profile":"riscv","aslr":"16+leak"}`))
+	f.Add([]byte(`{"scenario":"redis-get90","attack":"ROP-Chain","budgets":["survival>=0.5"]}`))
+	f.Add([]byte(`{"scenario":"redis-get90","profile":"xeon","aslr":"off"}`))
+	f.Add([]byte(`{"attack":"rop-chain"}`))
+	f.Add([]byte(`{"scenario":"redis-get90","aslr":"99+leak"}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := DecodeRequest(data)
 		if err != nil {

@@ -13,9 +13,12 @@
 //	- libopenjpg: comp2
 //	- lwip: comp2
 //
-// Two optional top-level keys extend the paper's example with the knobs
-// its evaluation varies: "gate: light|full" (MPK gate flavor, §4.1) and
-// "sharing: dss|heap|stack" (data sharing strategy, §4.1).
+// Optional top-level keys extend the paper's example with the knobs the
+// evaluation varies: "gate: light|full" (MPK gate flavor, §4.1),
+// "sharing: dss|heap|stack" (data sharing strategy, §4.1),
+// "aslr: off|N|N+leak" (layout-randomization entropy, optionally
+// leak-resistant — see internal/isolation) and "profile: x86|riscv"
+// (machine profile — see internal/machine).
 //
 // The parser is deliberately small and hand-rolled: the repository uses
 // only the Go standard library, and the format needs exactly the shapes
@@ -25,6 +28,9 @@ package config
 import (
 	"fmt"
 	"strings"
+
+	"flexos/internal/isolation"
+	"flexos/internal/machine"
 )
 
 // Compartment is one compartment declaration.
@@ -50,6 +56,11 @@ type Config struct {
 	// Sharing selects the stack-data sharing strategy: "", "dss", "heap"
 	// or "stack".
 	Sharing string
+	// ASLR selects the layout-randomization level: "", "off", "N" or
+	// "N+leak" (entropy bits, optionally leak-resistant).
+	ASLR string
+	// Profile selects the machine profile: "", "x86" or "riscv".
+	Profile string
 }
 
 // LibAssignment maps one library into a compartment.
@@ -158,6 +169,12 @@ func Validate(cfg *Config) error {
 	default:
 		return fmt.Errorf("config: unknown sharing strategy %q", cfg.Sharing)
 	}
+	if _, err := isolation.ParseASLR(cfg.ASLR); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	if _, err := machine.ParseProfile(cfg.Profile); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
 	return nil
 }
 
@@ -226,6 +243,12 @@ func (p *parser) parse(cfg *Config) error {
 			p.pos++
 		case strings.HasPrefix(ln.text, "sharing:"):
 			cfg.Sharing = strings.TrimSpace(strings.TrimPrefix(ln.text, "sharing:"))
+			p.pos++
+		case strings.HasPrefix(ln.text, "aslr:"):
+			cfg.ASLR = strings.TrimSpace(strings.TrimPrefix(ln.text, "aslr:"))
+			p.pos++
+		case strings.HasPrefix(ln.text, "profile:"):
+			cfg.Profile = strings.TrimSpace(strings.TrimPrefix(ln.text, "profile:"))
 			p.pos++
 		default:
 			return fmt.Errorf("config: line %d: unexpected %q", ln.no, ln.text)
@@ -337,6 +360,12 @@ func Render(cfg *Config) string {
 	}
 	if cfg.Sharing != "" {
 		fmt.Fprintf(&b, "sharing: %s\n", cfg.Sharing)
+	}
+	if cfg.ASLR != "" {
+		fmt.Fprintf(&b, "aslr: %s\n", cfg.ASLR)
+	}
+	if cfg.Profile != "" {
+		fmt.Fprintf(&b, "profile: %s\n", cfg.Profile)
 	}
 	return b.String()
 }

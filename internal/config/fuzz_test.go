@@ -52,6 +52,19 @@ func FuzzParseConfig(f *testing.F) {
 		"compartments:\n- c1:\n    hardening: ]\n",
 		"compartments:\n- c1:\n    hardening: [,,]\n",
 		"# only a comment\n",
+		// Attack-axis fields: valid shapes, truncations and junk values.
+		// Parse accepts the lines structurally; Validate vets the values,
+		// and canonical pre-attack renders must never grow these lines.
+		"aslr: 16+leak\nprofile: riscv\n",
+		"compartments:\n- c1:\n    mechanism: mpk\n    hardening: [cfi, shadowstack]\naslr: off\n",
+		"aslr:\n",
+		"aslr: +leak\n",
+		"aslr: 99+leak\n",
+		"aslr: 16+leak+leak\n",
+		"profile:\n",
+		"profile: riscv\nprofile: x86\n",
+		"profile: z80\n",
+		"compartments:\n- c1:\n    hardening: [shadow-stack]\n",
 		"compartments:\n- ünïcödé:\n    mechanism: mpk\nlibraries:\n- lib: ünïcödé\n",
 		"compartments:\n  - c1:\n      mechanism: mpk\nlibraries:\n  - l: c1\n",
 	} {

@@ -119,6 +119,19 @@ func (s ImageSpec) Validate(cat *Catalog) error {
 func SpecFromConfig(cfg *config.Config, cat *Catalog) (ImageSpec, error) {
 	spec := ImageSpec{Mechanism: cfg.Mechanism()}
 
+	// A "profile:" line threads the named machine's cost model into the
+	// build, so a config file targeting the RISC-V port prices gates and
+	// traps like the explorer's -profile flag does. Validation already
+	// vetted the name; an unknown one still errors here for direct
+	// SpecFromConfig callers.
+	if cfg.Profile != "" {
+		p, err := machine.ParseProfile(cfg.Profile)
+		if err != nil {
+			return ImageSpec{}, err
+		}
+		spec.Costs = p.Costs
+	}
+
 	switch cfg.Gate {
 	case "light":
 		spec.GateMode = isolation.GateLight

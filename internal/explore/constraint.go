@@ -68,8 +68,14 @@ func (c Constraint) Meets(mx Metrics) bool {
 // is missed by everything above it too. Constraints in the opposite
 // direction (say, a throughput ceiling) do not prune: they only filter
 // measured configurations.
+//
+// Metrics that improve with safety (survival) are excluded in both
+// directions: a survival floor is violated by *less* safe
+// configurations, so propagating the violation upward would prune
+// exactly the configurations most likely to satisfy it. Such
+// constraints only filter.
 func (c Constraint) Monotone() bool {
-	return c.Op == NaturalOp(c.Metric)
+	return c.Op == NaturalOp(c.Metric) && !c.Metric.ImprovesWithSafety()
 }
 
 // String renders the constraint in the CLI's spec syntax, e.g.
@@ -84,7 +90,7 @@ func (c Constraint) String() string {
 
 // ParseConstraint parses the CLI constraint syntax: "metric>=bound" or
 // "metric<=bound", with the metric names ParseMetric accepts
-// (throughput, p50, p99, maxlat, mem, boot).
+// (throughput, p50, p99, maxlat, mem, boot, survival).
 func ParseConstraint(s string) (Constraint, error) {
 	var op Op
 	var i int

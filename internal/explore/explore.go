@@ -30,6 +30,7 @@ import (
 	"flexos/internal/core"
 	"flexos/internal/harden"
 	"flexos/internal/isolation"
+	"flexos/internal/machine"
 	"flexos/internal/poset"
 )
 
@@ -48,6 +49,15 @@ type Config struct {
 	Mechanism string
 	GateMode  isolation.GateMode
 	Sharing   isolation.Sharing
+	// ASLR is the image's layout-randomization level (zero value: off).
+	// It joins the safety order as a product dimension: more entropy
+	// and leak resistance are each independently safer.
+	ASLR isolation.ASLR
+	// Profile names the machine profile the image is built for ("" is
+	// the default x86 profile). Configurations on different profiles
+	// are incomparable — safety on one machine says nothing about
+	// another — and measure under that profile's cost model.
+	Profile string
 }
 
 // NumCompartments returns the number of compartments.
@@ -103,6 +113,12 @@ func (c *Config) Label() string {
 	if len(hardened) > 0 {
 		s += " h={" + strings.Join(hardened, ",") + "}"
 	}
+	if c.ASLR.Enabled() {
+		s += " aslr=" + c.ASLR.String()
+	}
+	if c.Profile != "" {
+		s += " @" + c.Profile
+	}
 	return s
 }
 
@@ -113,6 +129,16 @@ func (c *Config) Spec(tcbLibs []string) core.ImageSpec {
 		Mechanism: c.Mechanism,
 		GateMode:  c.GateMode,
 		Sharing:   c.Sharing,
+	}
+	// A non-default machine profile threads its cost model into the
+	// build, so every existing measurement path prices gates, traps and
+	// copies under that machine. Unknown profile names keep the default
+	// costs: Key still separates them, and the front-ends reject them
+	// before a space is ever built.
+	if c.Profile != "" {
+		if p, err := machine.ParseProfile(c.Profile); err == nil {
+			spec.Costs = p.Costs
+		}
 	}
 	for i, blk := range c.Blocks {
 		cs := core.CompSpec{Name: fmt.Sprintf("comp%d", i)}
@@ -186,6 +212,17 @@ func (c *Config) Key() string {
 			b.WriteString(";")
 		}
 	}
+	// The attack axes render only when set, so every pre-attack key —
+	// and with it every persisted store record and canonical request
+	// key — is byte-stable.
+	if c.ASLR.Enabled() {
+		b.WriteString(";aslr=")
+		b.WriteString(c.ASLR.String())
+	}
+	if c.Profile != "" {
+		b.WriteString(";profile=")
+		b.WriteString(c.Profile)
+	}
 	return b.String()
 }
 
@@ -240,8 +277,18 @@ func (c *Config) gateRank() int {
 // (partition refinement), (2) data isolation, (3) stackable software
 // hardening, and (4) the strength of the isolation mechanism.
 func Leq(a, b *Config) bool {
+	// Different machines are different safety universes: configurations
+	// on distinct profiles never compare.
+	if a.Profile != b.Profile {
+		return false
+	}
 	// (4) mechanism strength.
 	if a.strength() > b.strength() {
+		return false
+	}
+	// ASLR joins as a product dimension: b must dominate on both
+	// entropy and leak resistance.
+	if !a.ASLR.Leq(b.ASLR) {
 		return false
 	}
 	// (1) b's partition must refine a's: components together in b are

@@ -562,6 +562,141 @@ func VectorMeasure(rng *rand.Rand) explore.MeasureMetrics {
 	}
 }
 
+// ----- adversarial attack-axis spaces and the survival oracle -------
+
+// attackTechs extends the hardening alphabet with ShadowStack, the
+// control-flow tech of the attack axis, in harden's canonical
+// iteration order.
+var attackTechs = []harden.Tech{
+	harden.CFI, harden.KASan, harden.UBSan, harden.StackProtector, harden.ShadowStack,
+}
+
+// AttackLadder is the ASLR alphabet random attack spaces draw from. It
+// deliberately contains incomparable pairs — more entropy without leak
+// resistance versus less entropy with it — so the product order of
+// isolation.ASLR.Leq is actually exercised, not just a chain.
+var AttackLadder = []isolation.ASLR{
+	{},
+	{EntropyBits: 8},
+	{EntropyBits: 16},
+	{EntropyBits: 8, LeakResistant: true},
+	{EntropyBits: 16, LeakResistant: true},
+	{EntropyBits: 32, LeakResistant: true},
+}
+
+// AttackProfiles is the machine-profile alphabet: the default x86
+// machine ("") and the RISC-V port. Configurations on distinct
+// profiles are incomparable, so a random attack space splits into
+// per-profile order groups — the grouped-poset regime the engine must
+// keep byte-identical at every worker count.
+var AttackProfiles = []string{"", "riscv"}
+
+// RandomAttackSpace generates n random configurations over the full
+// attack axis: RandomSpace's random partitions, mechanisms, gates and
+// sharing strategies, plus ShadowStack-extended per-component
+// hardening, a random ASLR level from AttackLadder and a random
+// machine profile. Duplicates are allowed (the engine must still
+// twin-fill across the new dimensions).
+func RandomAttackSpace(rng *rand.Rand, n int) []*explore.Config {
+	mechs := []string{"none", "intel-mpk", "vm-ept"}
+	gates := []isolation.GateMode{isolation.GateLight, isolation.GateFull}
+	sharings := []isolation.Sharing{isolation.ShareStack, isolation.ShareDSS, isolation.ShareHeap}
+	cfgs := make([]*explore.Config, n)
+	for i := range cfgs {
+		h := make(map[string]harden.Set)
+		for _, comp := range components {
+			var ts []harden.Tech
+			for _, tech := range attackTechs {
+				if rng.Intn(2) == 0 {
+					ts = append(ts, tech)
+				}
+			}
+			if len(ts) > 0 {
+				h[comp] = harden.NewSet(ts...)
+			}
+		}
+		cfgs[i] = &explore.Config{
+			ID:        i,
+			Blocks:    randomPartition(rng),
+			Hardening: h,
+			Mechanism: mechs[rng.Intn(len(mechs))],
+			GateMode:  gates[rng.Intn(len(gates))],
+			Sharing:   sharings[rng.Intn(len(sharings))],
+			ASLR:      AttackLadder[rng.Intn(len(AttackLadder))],
+			Profile:   AttackProfiles[rng.Intn(len(AttackProfiles))],
+		}
+	}
+	return cfgs
+}
+
+// SurvivalMeasure extends VectorMeasure with a brute-force survival
+// scorer: survival is an independent additive rank over exactly the
+// dimensions explore.Leq compares — compartment count, mechanism
+// strength, gate and sharing ranks, per-component hardening techs,
+// ASLR entropy bits and leak resistance — with random positive
+// weights, normalized into (0, 1]. Every dimension contributes
+// non-negatively and the profile never compares across groups, so
+// a ≤ b implies Survival(a) <= Survival(b): the dominance oracle the
+// attack subsystem's ordering and filter-only-constraint proofs run
+// against, with none of its multiplicative machinery.
+func SurvivalMeasure(rng *rand.Rand) explore.MeasureMetrics {
+	vec := VectorMeasure(rng)
+	wComp := float64(rng.Intn(200) + 1)
+	wStrength := float64(rng.Intn(300) + 1)
+	wGate := float64(rng.Intn(50) + 1)
+	wShare := float64(rng.Intn(50) + 1)
+	wBits := float64(rng.Intn(10) + 1)
+	wLeak := float64(rng.Intn(100) + 1)
+	wTech := make(map[harden.Tech]float64, len(attackTechs))
+	total := wComp*float64(len(components)-1) + wStrength*2 + wGate + wShare +
+		wBits*float64(isolation.MaxEntropyBits) + wLeak
+	for _, tech := range attackTechs {
+		w := float64(rng.Intn(40) + 1)
+		wTech[tech] = w
+		total += w * float64(len(components))
+	}
+	return func(c *explore.Config) (explore.Metrics, error) {
+		mx, err := vec(c)
+		if err != nil {
+			return mx, err
+		}
+		rank := wComp*float64(c.NumCompartments()-1) +
+			wStrength*float64(mechStrength(c)) +
+			wGate*float64(gateRank(c)) +
+			wShare*float64(sharingRank(c)) +
+			wBits*float64(c.ASLR.EntropyBits)
+		if c.ASLR.LeakResistant {
+			rank += wLeak
+		}
+		for _, comp := range c.Components() {
+			for _, tech := range attackTechs {
+				if c.Hardening[comp].Has(tech) {
+					rank += wTech[tech]
+				}
+			}
+		}
+		mx.Survival = (1 + rank) / (1 + total)
+		return mx, nil
+	}
+}
+
+// SurvivalFloor builds a survival>=bound constraint with the bound
+// drawn from an exhaustive result's measured survival distribution —
+// in its natural direction, which for survival is deliberately never
+// monotone-prunable (a floor must filter, not prune, because
+// violations live at the UNSAFE end of the order).
+func SurvivalFloor(rng *rand.Rand, oracle *explore.Result) explore.Constraint {
+	vals := make([]float64, 0, len(oracle.Measurements))
+	for _, m := range oracle.Measurements {
+		vals = append(vals, m.Metrics.Survival)
+	}
+	return explore.Constraint{
+		Metric: scenario.MetricSurvival,
+		Op:     explore.NaturalOp(scenario.MetricSurvival),
+		Bound:  quantile(vals, 0.25+rng.Float64()/2),
+	}
+}
+
 // quantile picks a bound inside the observed range of a metric so
 // constraints are neither trivially empty nor trivially full.
 func quantile(vals []float64, q float64) float64 {

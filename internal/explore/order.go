@@ -15,7 +15,9 @@ import (
 // allocation-free. Component names are sorted; block and hs align with
 // comps positionally. Signatures of configurations with different
 // component sets are never compared (such configurations are
-// incomparable — Leq requires identical component sets).
+// incomparable — Leq requires identical component sets), and neither are
+// signatures of configurations on different machine profiles (the group
+// key separates them).
 type sig struct {
 	comps    []string
 	block    []int16
@@ -23,6 +25,7 @@ type sig struct {
 	strength isolation.Strength
 	share    int8
 	gate     int8
+	aslr     isolation.ASLR
 }
 
 // leqSig mirrors Leq exactly for two configurations with identical
@@ -32,6 +35,9 @@ type sig struct {
 // practical (the allocating Leq costs ~350ns/pair; this costs ~20ns).
 func leqSig(a, b *sig) bool {
 	if a.strength > b.strength {
+		return false
+	}
+	if !a.aslr.Leq(b.aslr) {
 		return false
 	}
 	nc := len(a.comps)
@@ -85,6 +91,7 @@ func newSpaceOrder(cfgs []*Config) *spaceOrder {
 		s.strength = c.strength()
 		s.share = int8(c.sharingRank())
 		s.gate = int8(c.gateRank())
+		s.aslr = c.ASLR
 		b0, h0 := len(blockArena), len(hsArena)
 		for _, comp := range comps {
 			blockArena = append(blockArena, int16(c.blockOf(comp)))
@@ -93,7 +100,11 @@ func newSpaceOrder(cfgs []*Config) *spaceOrder {
 		s.block = blockArena[b0:len(blockArena):len(blockArena)]
 		s.hs = hsArena[h0:len(hsArena):len(hsArena)]
 
-		key := strings.Join(comps, "\x00")
+		// Distinct machine profiles are incomparable universes (Leq
+		// returns false across them), so they partition into separate
+		// groups; "\x01" cannot appear in a component name or profile,
+		// keeping the key unambiguous.
+		key := strings.Join(comps, "\x00") + "\x01" + c.Profile
 		g, ok := byComps[key]
 		if !ok {
 			g = int32(len(o.groups))

@@ -37,6 +37,10 @@ const (
 	// StackProtector places canaries below stack frames, verified on
 	// return.
 	StackProtector
+	// ShadowStack keeps a protected copy of return addresses and checks
+	// it on every return (backward-edge CFI). Together with CFI's
+	// forward-edge checks it closes the control-flow graph against ROP.
+	ShadowStack
 )
 
 // All is the full hardening stack the paper's Figure 6 toggles per
@@ -52,6 +56,8 @@ var names = map[string]Tech{
 	"ubsan":           UBSan,
 	"stackprotector":  StackProtector,
 	"stack-protector": StackProtector,
+	"shadowstack":     ShadowStack,
+	"shadow-stack":    ShadowStack,
 }
 
 // multipliers is the compute-cost factor of each technique, calibrated so
@@ -64,7 +70,14 @@ var multipliers = map[Tech]float64{
 	KASan:          1.85,
 	UBSan:          1.26,
 	StackProtector: 1.05,
+	ShadowStack:    1.07,
 }
+
+// allTechs is the fixed iteration order for multiplier composition and
+// set enumeration. Floating-point products are order-sensitive, so
+// WorkMultiplier must never iterate the multipliers map directly: map
+// order varies between runs and would break byte-identical reports.
+var allTechs = [...]Tech{CFI, KASan, UBSan, StackProtector, ShadowStack}
 
 // Set is a set of hardening techniques applied to one compartment.
 type Set struct {
@@ -115,7 +128,7 @@ func (s Set) Equal(o Set) bool { return s.mask == o.mask }
 // Count returns the number of enabled techniques.
 func (s Set) Count() int {
 	n := 0
-	for _, t := range []Tech{CFI, KASan, UBSan, StackProtector} {
+	for _, t := range allTechs {
 		if s.Has(t) {
 			n++
 		}
@@ -128,9 +141,9 @@ func (s Set) Count() int {
 // stack in practice).
 func (s Set) WorkMultiplier() float64 {
 	m := 1.0
-	for t, f := range multipliers {
+	for _, t := range allTechs {
 		if s.Has(t) {
-			m *= f
+			m *= multipliers[t]
 		}
 	}
 	return m
@@ -154,6 +167,9 @@ func (s Set) String() string {
 	}
 	if s.Has(StackProtector) {
 		out = append(out, "stackprotector")
+	}
+	if s.Has(ShadowStack) {
+		out = append(out, "shadowstack")
 	}
 	sort.Strings(out)
 	return "[" + strings.Join(out, ",") + "]"

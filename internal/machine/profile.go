@@ -1,0 +1,128 @@
+// Machine profiles: named cost-model/attack-surface bundles selectable
+// per query.
+//
+// The default profile is the paper's Xeon Silver 4114 (DefaultCosts). The
+// RISC-V profile models the class of machine the two ROP-on-RISC-V papers
+// in PAPERS.md target: the compressed (RVC) instruction extension lets
+// byte-misaligned decoding mint far more unintended gadgets than x86's
+// variable-length encoding, while the flat trap model (no KPTI split, no
+// VMX microcode) shifts the gate-cost landscape — cheaper traps and
+// syscalls, more expensive inter-world crossings on current cores.
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Profile bundles a cost model with the attack-relevant properties of the
+// machine it describes. Profiles are compared by Name; two configurations
+// on different profiles are incomparable in the safety ordering (a safer
+// layout on one machine says nothing about another machine).
+type Profile struct {
+	// Name is the canonical profile name ("x86", "riscv").
+	Name string
+
+	// Costs is the cycle cost model for this machine.
+	Costs CostModel
+
+	// GadgetDensity scales the attacker's supply of ROP gadgets relative
+	// to the x86 baseline (1.0). Compressed-ISA machines sit above 1:
+	// every 16-bit-aligned decode point is a potential unintended gadget.
+	GadgetDensity float64
+}
+
+// DefaultProfileName names the baseline profile used when a query does
+// not select one; it renders as the empty string on the wire so existing
+// canonical keys are unchanged.
+const DefaultProfileName = "x86"
+
+// DefaultProfile is the paper's Xeon Silver 4114 baseline.
+func DefaultProfile() Profile {
+	return Profile{Name: DefaultProfileName, Costs: DefaultCosts(), GadgetDensity: 1.0}
+}
+
+// RISCVProfile models a SiFive-class RV64GC core at 1.5 GHz. Relative to
+// the Xeon: cheaper flat traps and syscalls (no KPTI, short pipelines),
+// pricier cross-world transitions (hypervisor-extension software paths),
+// no wrpkru analog — MPK-style domain switches go through a modeled
+// sPMP/Donky-style user-mode switch — and a ~2.1x gadget density from
+// the compressed instruction set (the ROPcompiler paper's measurement of
+// gadget supply on RV64GC relative to comparable x86 binaries).
+func RISCVProfile() Profile {
+	c := DefaultCosts()
+	c.FreqHz = 1.5e9
+	c.WrPKRU = 18 // Donky-style user-mode domain register write
+	c.MPKLightGateFixed = 14
+	c.MPKFullGateExtra = 52
+	c.EPTGate = 940      // H-extension world switch, partly software
+	c.SyscallNoKPTI = 98 // flat trap, short pipeline
+	c.SyscallKPTI = 98   // no KPTI split on this profile
+	c.SGXGate = 9200     // Keystone-style enclave transition
+	c.SeL4IPC = 360
+	c.PageFault = 900
+	c.VMExit = 2300
+	c.ContextSwitch = 480
+	c.TLBShootdown = 1400 // IPI-based remote sfence.vma
+	return Profile{Name: "riscv", Costs: c, GadgetDensity: 2.1}
+}
+
+// profiles maps configuration-file names (lowercased) to constructors.
+// "" and "x86" select the default; "riscv"/"risc-v"/"rv64" the RISC-V
+// profile.
+var profiles = map[string]func() Profile{
+	"":       DefaultProfile,
+	"x86":    DefaultProfile,
+	"xeon":   DefaultProfile,
+	"riscv":  RISCVProfile,
+	"risc-v": RISCVProfile,
+	"rv64":   RISCVProfile,
+}
+
+// CanonicalProfile maps a profile spec to its canonical name, with the
+// default profile canonicalizing to "" so that existing configuration
+// keys are byte-stable. It is the identity used inside Config.Key.
+func CanonicalProfile(name string) (string, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	ctor, ok := profiles[n]
+	if !ok {
+		return "", fmt.Errorf("machine: unknown profile %q (have %s)", name, ProfileNames())
+	}
+	p := ctor()
+	if p.Name == DefaultProfileName {
+		return "", nil
+	}
+	return p.Name, nil
+}
+
+// ParseProfile resolves a profile spec ("", "x86", "riscv", ...) to its
+// profile, validating the cost model on the way out.
+func ParseProfile(name string) (Profile, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	ctor, ok := profiles[n]
+	if !ok {
+		return Profile{}, fmt.Errorf("machine: unknown profile %q (have %s)", name, ProfileNames())
+	}
+	p := ctor()
+	if err := p.Costs.Validate(); err != nil {
+		return Profile{}, fmt.Errorf("machine: profile %q: %w", p.Name, err)
+	}
+	return p, nil
+}
+
+// ProfileNames lists the canonical profile names, sorted, for error
+// messages and front-end help text.
+func ProfileNames() string {
+	seen := map[string]bool{}
+	var out []string
+	for _, ctor := range profiles {
+		p := ctor()
+		if !seen[p.Name] {
+			seen[p.Name] = true
+			out = append(out, p.Name)
+		}
+	}
+	sort.Strings(out)
+	return strings.Join(out, "|")
+}

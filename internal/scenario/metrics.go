@@ -32,12 +32,21 @@ type Metrics struct {
 	// Crossings counts cross-compartment gate transitions during
 	// measurement.
 	Crossings uint64
+	// Survival is the configuration's probability of surviving the
+	// attack scenario attached to the workload, in [0,1]. It is zero —
+	// and omitted from String — for plain performance workloads, so
+	// the golden renderings of every pre-attack scenario are unchanged.
+	Survival float64
 }
 
 // String renders the vector compactly.
 func (m Metrics) String() string {
-	return fmt.Sprintf("%.1fk op/s p50=%.2fµs p99=%.2fµs max=%.2fµs mem=%dB boot=%dcy",
+	s := fmt.Sprintf("%.1fk op/s p50=%.2fµs p99=%.2fµs max=%.2fµs mem=%dB boot=%dcy",
 		m.Throughput/1000, m.P50us, m.P99us, m.MaxUs, m.PeakMemBytes, m.BootCycles)
+	if m.Survival > 0 {
+		s += fmt.Sprintf(" surv=%.6f", m.Survival)
+	}
+	return s
 }
 
 // Metric selects one dimension of a Metrics vector — the axis a
@@ -62,11 +71,15 @@ const (
 	// MetricBoot budgets a maximum boot cost in cycles (lower is
 	// better).
 	MetricBoot Metric = "boot"
+	// MetricSurvival budgets a minimum probability of surviving an
+	// attack scenario (higher is better). Only attack workloads
+	// populate it.
+	MetricSurvival Metric = "survival"
 )
 
 // AllMetrics lists every supported metric, in display order.
 func AllMetrics() []Metric {
-	return []Metric{MetricThroughput, MetricP50, MetricP99, MetricMax, MetricPeakMem, MetricBoot}
+	return []Metric{MetricThroughput, MetricP50, MetricP99, MetricMax, MetricPeakMem, MetricBoot, MetricSurvival}
 }
 
 // ParseMetric resolves a metric name (as used by the -metric CLI flag).
@@ -74,10 +87,10 @@ func ParseMetric(s string) (Metric, error) {
 	switch Metric(s) {
 	case "":
 		return MetricThroughput, nil
-	case MetricThroughput, MetricP50, MetricP99, MetricMax, MetricPeakMem, MetricBoot:
+	case MetricThroughput, MetricP50, MetricP99, MetricMax, MetricPeakMem, MetricBoot, MetricSurvival:
 		return Metric(s), nil
 	}
-	return "", fmt.Errorf("scenario: unknown metric %q (want throughput|p50|p99|maxlat|mem|boot)", s)
+	return "", fmt.Errorf("scenario: unknown metric %q (want throughput|p50|p99|maxlat|mem|boot|survival)", s)
 }
 
 // Value extracts the metric's dimension from a vector, in natural units
@@ -94,6 +107,8 @@ func (m Metric) Value(x Metrics) float64 {
 		return float64(x.PeakMemBytes)
 	case MetricBoot:
 		return float64(x.BootCycles)
+	case MetricSurvival:
+		return x.Survival
 	default: // MetricThroughput and the zero value
 		return x.Throughput
 	}
@@ -107,6 +122,16 @@ func (m Metric) HigherIsBetter() bool {
 		return false
 	}
 	return true
+}
+
+// ImprovesWithSafety reports whether the metric gets better as a
+// configuration gets safer. Performance metrics degrade with safety —
+// which is what makes a natural-direction constraint on them sound to
+// prune with (any safer configuration only does worse). Survival is the
+// opposite: safer configurations survive more, so a survival floor must
+// never prune the safer region. Constraint.Monotone consults this.
+func (m Metric) ImprovesWithSafety() bool {
+	return m == MetricSurvival
 }
 
 // Meets reports whether value v satisfies the budget: at least the
@@ -127,6 +152,8 @@ func (m Metric) Unit() string {
 		return "B"
 	case MetricBoot:
 		return "cycles"
+	case MetricSurvival:
+		return "p"
 	}
 	return "op/s"
 }

@@ -217,7 +217,7 @@ func TestMixHit(t *testing.T) {
 }
 
 func TestMetricSelectors(t *testing.T) {
-	mx := Metrics{Throughput: 1000, P50us: 1, P99us: 2, MaxUs: 3, PeakMemBytes: 4096, BootCycles: 99}
+	mx := Metrics{Throughput: 1000, P50us: 1, P99us: 2, MaxUs: 3, PeakMemBytes: 4096, BootCycles: 99, Survival: 0.5}
 	cases := []struct {
 		m    Metric
 		v    float64
@@ -229,6 +229,7 @@ func TestMetricSelectors(t *testing.T) {
 		{MetricMax, 3, false},
 		{MetricPeakMem, 4096, false},
 		{MetricBoot, 99, false},
+		{MetricSurvival, 0.5, true},
 	}
 	for _, c := range cases {
 		if got := c.m.Value(mx); got != c.v {
@@ -257,8 +258,17 @@ func TestMetricSelectors(t *testing.T) {
 	if _, err := ParseMetric("latency"); err == nil {
 		t.Error("ParseMetric accepted an unknown name")
 	}
-	if len(AllMetrics()) != 6 {
-		t.Errorf("AllMetrics lists %d metrics, want 6", len(AllMetrics()))
+	if len(AllMetrics()) != 7 {
+		t.Errorf("AllMetrics lists %d metrics, want 7", len(AllMetrics()))
+	}
+	if !MetricSurvival.ImprovesWithSafety() || MetricThroughput.ImprovesWithSafety() {
+		t.Error("only survival improves with safety")
+	}
+	if s := mx.String(); !strings.Contains(s, "surv=0.500000") {
+		t.Errorf("Metrics.String missing survival: %q", s)
+	}
+	if s := (Metrics{Throughput: 1}).String(); strings.Contains(s, "surv=") {
+		t.Errorf("Metrics.String must omit zero survival: %q", s)
 	}
 	if s := mx.String(); !strings.Contains(s, "p99") || !strings.Contains(s, "op/s") {
 		t.Errorf("Metrics.String missing fields: %q", s)

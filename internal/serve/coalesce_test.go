@@ -293,3 +293,85 @@ func TestServeShutdownUnblocksSubscribers(t *testing.T) {
 		t.Fatalf("Close: %v", err)
 	}
 }
+
+// TestServeAttackStormCoalescesByAxisKey extends the coalescing storm
+// to the attack axes: a storm of attack-scored requests differing only
+// in presentation and scheduling knobs — worker count, verbosity, the
+// default machine profile under its aliases — still triggers exactly
+// one engine pass, while requests differing in attack scenario,
+// machine profile or pinned ASLR level each get their own flight and
+// their own bytes.
+func TestServeAttackStormCoalescesByAxisKey(t *testing.T) {
+	req := cli.Request{Scenario: "redis-get90", Attack: "rop-chain", Ops: 40}
+	want := oracle(t, req, nil)
+
+	srv, client := newTestServer(t, Config{Workers: 2})
+	gate := make(chan struct{})
+	srv.onFlightStart = func(string) { <-gate }
+
+	storm := []cli.Request{
+		req,
+		{Scenario: "redis-get90", Attack: " ROP-Chain ", Ops: 40},
+		{Scenario: "redis-get90", Attack: "rop-chain", Ops: 40, Profile: "x86"},
+		{Scenario: "redis-get90", Attack: "rop-chain", Ops: 40, Profile: "xeon"},
+		{Scenario: "redis-get90", Attack: "rop-chain", Ops: 40, Verbose: true},
+		{Scenario: "redis-get90", Attack: "rop-chain", Ops: 40, Workers: 7},
+	}
+	reports := make([]string, len(storm))
+	errs := make([]error, len(storm))
+	var wg sync.WaitGroup
+	for i, r := range storm {
+		wg.Add(1)
+		go func(i int, r cli.Request) {
+			defer wg.Done()
+			r.Workers = 1 + i%4 // the key must not see worker count
+			resp, err := client.Explore(context.Background(), r)
+			reports[i], errs[i] = resp.Report, err
+		}(i, r)
+	}
+	waitStats(t, srv, "the attack storm to attach", func(st Stats) bool {
+		return st.Requests == int64(len(storm)) && st.Coalesced == int64(len(storm))-1
+	})
+	close(gate)
+	wg.Wait()
+	for i := range storm {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+	}
+	// The verbose variant renders more bytes from the same flight; the
+	// rest must be byte-identical to the local oracle.
+	for _, i := range []int{0, 1, 2, 3, 5} {
+		if reports[i] != want.report {
+			t.Errorf("request %d: report differs from oracle", i)
+		}
+	}
+	if st := srv.Stats(); st.FlightsStarted != 1 {
+		t.Errorf("attack storm started %d engine passes, want exactly 1", st.FlightsStarted)
+	}
+
+	// Requests that move an attack axis are different spaces or
+	// scorings: each must start a fresh flight and disagree with the
+	// rop-chain report.
+	srv.onFlightStart = nil
+	distinct := []cli.Request{
+		{Scenario: "redis-get90", Ops: 40},                                        // the plain performance run
+		{Scenario: "redis-get90", Attack: "comp-leak", Ops: 40},                   // a different attacker
+		{Scenario: "redis-get90", Attack: "rop-chain", Ops: 40, Profile: "riscv"}, // a different machine
+		{Scenario: "redis-get90", Attack: "rop-chain", Ops: 40, ASLR: "16+leak"},  // pinned vs swept ASLR
+	}
+	flights := srv.Stats().FlightsStarted
+	for i, r := range distinct {
+		resp, err := client.Explore(context.Background(), r)
+		if err != nil {
+			t.Fatalf("distinct request %d: %v", i, err)
+		}
+		if resp.Report == want.report {
+			t.Errorf("distinct request %d returned the rop-chain storm's bytes; axes must not coalesce", i)
+		}
+	}
+	if st := srv.Stats(); st.FlightsStarted != flights+int64(len(distinct)) {
+		t.Errorf("distinct attack axes started %d flights, want %d",
+			st.FlightsStarted-flights, len(distinct))
+	}
+}
